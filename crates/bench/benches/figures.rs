@@ -1,0 +1,135 @@
+//! Criterion end-to-end benches: one small cell per paper figure/table, so
+//! `cargo bench` exercises every experiment path. The full-size figure
+//! regenerators are the `dl-bench` binaries (`cargo run --release -p
+//! dl-bench --bin fig10_p2p` etc.); these benches run scaled-down instances
+//! and report simulator wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dimm_link::config::{IdcKind, PollingStrategy, SystemConfig};
+use dimm_link::runner::{host_baseline, simulate, simulate_optimized};
+use dl_noc::TopologyKind;
+use dl_workloads::{synth, WorkloadKind, WorkloadParams};
+use std::hint::black_box;
+
+fn params(dimms: usize) -> WorkloadParams {
+    WorkloadParams {
+        scale: 8,
+        ..WorkloadParams::small(dimms)
+    }
+}
+
+fn fig01_cell(c: &mut Criterion) {
+    c.bench_function("fig01_bulk_copy_mcn", |b| {
+        let wl = synth::bulk_copy(&params(4), 64 * 64);
+        let cfg = SystemConfig::nmp(4, 2).with_idc(IdcKind::CpuForwarding);
+        b.iter(|| black_box(simulate(&wl, &cfg).elapsed))
+    });
+}
+
+fn table1_cell(c: &mut Criterion) {
+    c.bench_function("table1_stream_dimm_link", |b| {
+        let wl = synth::bulk_copy(&params(4), 64 * 64);
+        let cfg = SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink);
+        b.iter(|| black_box(simulate(&wl, &cfg).elapsed))
+    });
+}
+
+fn fig10_cell(c: &mut Criterion) {
+    let wl = WorkloadKind::Pagerank.build(&params(8));
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for idc in [IdcKind::CpuForwarding, IdcKind::DedicatedBus, IdcKind::DimmLink] {
+        let cfg = SystemConfig::nmp(8, 4).with_idc(idc);
+        g.bench_function(format!("pr_8d4c_{idc}"), |b| {
+            b.iter(|| black_box(simulate(&wl, &cfg).elapsed))
+        });
+    }
+    g.bench_function("pr_8d4c_host", |b| {
+        b.iter(|| black_box(host_baseline(WorkloadKind::Pagerank, 8, 42).elapsed))
+    });
+    g.bench_function("pr_8d4c_dl_opt", |b| {
+        let cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
+        b.iter(|| black_box(simulate_optimized(&wl, &cfg).elapsed))
+    });
+    g.finish();
+}
+
+fn fig11_cell(c: &mut Criterion) {
+    c.bench_function("fig11_breakdown_bfs", |b| {
+        let wl = WorkloadKind::Bfs.build(&params(8));
+        let cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
+        b.iter(|| black_box(simulate(&wl, &cfg).traffic_breakdown()))
+    });
+}
+
+fn fig12_cell(c: &mut Criterion) {
+    let bc = WorkloadParams {
+        broadcast: true,
+        ..params(8)
+    };
+    let wl = WorkloadKind::Spmv.build(&bc);
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for idc in [IdcKind::AbcDimm, IdcKind::DimmLink] {
+        let cfg = SystemConfig::nmp(8, 4).with_idc(idc);
+        g.bench_function(format!("spmv_bc_{idc}"), |b| {
+            b.iter(|| black_box(simulate(&wl, &cfg).elapsed))
+        });
+    }
+    g.finish();
+}
+
+fn fig13_cell(c: &mut Criterion) {
+    c.bench_function("fig13_energy_sssp_dl", |b| {
+        let wl = WorkloadKind::Sssp.build(&params(8));
+        let cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
+        b.iter(|| black_box(simulate(&wl, &cfg).energy.total()))
+    });
+}
+
+fn fig14_cell(c: &mut Criterion) {
+    c.bench_function("fig14_sync_sweep_hier", |b| {
+        let wl = synth::sync_sweep(&params(8), 500, 30);
+        let cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
+        b.iter(|| black_box(simulate(&wl, &cfg).elapsed))
+    });
+    c.bench_function("fig14_tspow_dl", |b| {
+        let wl = WorkloadKind::TsPow.build(&params(8));
+        let cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
+        b.iter(|| black_box(simulate(&wl, &cfg).elapsed))
+    });
+}
+
+fn fig15_cell(c: &mut Criterion) {
+    c.bench_function("fig15_polling_proxy_itrpt", |b| {
+        let wl = WorkloadKind::Sssp.build(&params(8));
+        let mut cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
+        cfg.polling = PollingStrategy::ProxyInterrupt;
+        b.iter(|| black_box(simulate(&wl, &cfg).bus_occupancy()))
+    });
+}
+
+fn fig16_cell(c: &mut Criterion) {
+    c.bench_function("fig16_bandwidth_64g", |b| {
+        let wl = WorkloadKind::Hotspot.build(&params(8));
+        let mut cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
+        cfg.link = cfg.link.with_bandwidth(64_000_000_000);
+        b.iter(|| black_box(simulate(&wl, &cfg).elapsed))
+    });
+}
+
+fn fig17_cell(c: &mut Criterion) {
+    c.bench_function("fig17_torus", |b| {
+        let wl = WorkloadKind::Pagerank.build(&params(8));
+        let mut cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
+        cfg.topology = TopologyKind::Torus;
+        b.iter(|| black_box(simulate(&wl, &cfg).elapsed))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig01_cell, table1_cell, fig10_cell, fig11_cell, fig12_cell, fig13_cell, fig14_cell, fig15_cell, fig16_cell, fig17_cell
+}
+criterion_main!(figures);

@@ -1,0 +1,85 @@
+//! Ablation — packet-level vs flit-level network fidelity.
+//!
+//! The big sweeps use the packet-level model (`PacketNet`); this ablation
+//! cross-checks it against the cycle-accurate flit-level router model
+//! (`FlitNet`) on the paper's chain topology, BookSim-style: same traffic
+//! in, latencies compared.
+
+use dl_bench::{print_table, save_json, Args};
+use dl_engine::Ps;
+use dl_noc::{FlitNet, FlitNetConfig, LinkParams, PacketNet, Topology, TopologyKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    pattern: String,
+    packet_level_ns: f64,
+    flit_level_ns: f64,
+    ratio: f64,
+}
+
+/// Runs `pairs` through both models; returns (packet-level makespan,
+/// flit-level makespan) in ns.
+fn compare(topo: &Topology, pairs: &[(usize, usize)], packet_flits: u32) -> (f64, f64) {
+    let mut pnet = PacketNet::new(topo, LinkParams::grs_25gbps());
+    let mut last = Ps::ZERO;
+    for &(s, d) in pairs {
+        last = last.max(pnet.send(Ps::ZERO, s, d, packet_flits as u64 * 16));
+    }
+    let packet_ns = last.as_ns_f64();
+
+    let mut fnet = FlitNet::new(topo, FlitNetConfig::grs_25gbps());
+    for (i, &(s, d)) in pairs.iter().enumerate() {
+        fnet.inject(i as u64, s, d, packet_flits);
+    }
+    let deliveries = fnet.run_until_idle(10_000_000);
+    let cycles = deliveries.iter().map(|d| d.cycle).max().unwrap_or(0);
+    let flit_ns = fnet.time_of(cycles).as_ns_f64();
+    (packet_ns, flit_ns)
+}
+
+fn main() {
+    let _args = Args::parse();
+    println!("Ablation: packet-level vs flit-level network model (chain of 8)");
+    let topo = Topology::new(TopologyKind::Chain, 8);
+
+    let patterns: Vec<(&str, Vec<(usize, usize)>)> = vec![
+        ("single 1-hop", vec![(0, 1)]),
+        ("single 7-hop", vec![(0, 7)]),
+        ("4 disjoint pairs", vec![(0, 1), (2, 3), (4, 5), (6, 7)]),
+        ("hot link (4 -> middle)", vec![(0, 4), (1, 4), (2, 4), (3, 4)]),
+        (
+            "all-to-one",
+            (0..7).map(|s| (s, 7)).collect(),
+        ),
+        (
+            "uniform 28 pairs",
+            (0..8).flat_map(|s| (0..8).filter(move |&d| d != s).map(move |d| (s, d))).take(28).collect(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (name, pairs) in patterns {
+        let (p, f) = compare(&topo, &pairs, 17); // max-size packets
+        let ratio = p / f.max(1e-9);
+        rows.push(vec![
+            name.to_string(),
+            format!("{p:.1}"),
+            format!("{f:.1}"),
+            format!("{ratio:.2}"),
+        ]);
+        out.push(Row {
+            pattern: name.to_string(),
+            packet_level_ns: p,
+            flit_level_ns: f,
+            ratio,
+        });
+    }
+    print_table(
+        "Makespan comparison (17-flit packets); ratios near 1.0 validate the fast model",
+        &["pattern", "packet-level (ns)", "flit-level (ns)", "ratio"],
+        &rows,
+    );
+    save_json("ablation_fidelity", &out);
+}

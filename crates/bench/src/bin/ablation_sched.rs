@@ -1,0 +1,88 @@
+//! Ablation — DRAM controller policies.
+//!
+//! DESIGN.md calls out three controller design choices; this ablation
+//! quantifies each at the system level:
+//! * FR-FCFS hit-streak cap (1 ~ FCFS, 4 default, 16 hit-first),
+//! * row policy (open- vs closed-page),
+//! * address mapping (plain vs XOR bank permutation).
+
+use dimm_link::config::{IdcKind, SystemConfig};
+use dimm_link::runner::simulate;
+use dl_bench::{fmt_x, print_table, save_json, Args};
+use dl_mem::{MappingScheme, RowPolicy};
+use dl_workloads::{WorkloadKind, WorkloadParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    cap1_vs_cap4: f64,
+    cap16_vs_cap4: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    println!("Ablation: FR-FCFS hit-streak cap (16D-8C DIMM-Link, scale {})", args.scale);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for kind in [WorkloadKind::Pagerank, WorkloadKind::Hotspot, WorkloadKind::KMeans] {
+        let params = WorkloadParams {
+            scale: args.scale,
+            seed: args.seed,
+            ..WorkloadParams::small(16)
+        };
+        let wl = kind.build(&params);
+        let run = |cap: u32| {
+            let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+            cfg.dram.hit_streak_cap = cap;
+            simulate(&wl, &cfg).elapsed.as_ps() as f64
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        let t16 = run(16);
+        rows.push(vec![kind.to_string(), fmt_x(t4 / t1), fmt_x(t4 / t16)]);
+        out.push(Row {
+            workload: kind.to_string(),
+            cap1_vs_cap4: t4 / t1,
+            cap16_vs_cap4: t4 / t16,
+        });
+    }
+    print_table(
+        "Speedup relative to the default cap of 4 (>1 means the variant is faster)",
+        &["workload", "cap=1 (FCFS-ish)", "cap=16 (hit-first)"],
+        &rows,
+    );
+
+    // Row policy and mapping scheme.
+    let mut rows2 = Vec::new();
+    for kind in [WorkloadKind::Pagerank, WorkloadKind::Hotspot, WorkloadKind::KMeans] {
+        let params = WorkloadParams {
+            scale: args.scale,
+            seed: args.seed,
+            ..WorkloadParams::small(16)
+        };
+        let wl = kind.build(&params);
+        let base = {
+            let cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+            simulate(&wl, &cfg).elapsed.as_ps() as f64
+        };
+        let closed = {
+            let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+            cfg.dram.row_policy = RowPolicy::Closed;
+            simulate(&wl, &cfg).elapsed.as_ps() as f64
+        };
+        let xor = {
+            let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+            cfg.dram.mapping = MappingScheme::BankXor;
+            simulate(&wl, &cfg).elapsed.as_ps() as f64
+        };
+        rows2.push(vec![kind.to_string(), fmt_x(base / closed), fmt_x(base / xor)]);
+    }
+    print_table(
+        "Row policy / mapping vs the open-page + plain default",
+        &["workload", "closed-page", "XOR bank mapping"],
+        &rows2,
+    );
+    save_json("ablation_sched", &out);
+}

@@ -1,0 +1,98 @@
+//! Extension — DIMM-Link on disaggregated memory (paper Section VI).
+//!
+//! The paper proposes organizing DIMM-NMP blades behind CXL/RDMA instead of
+//! a host memory bus: DIMM-Link augments intra-blade IDC while the fabric
+//! carries inter-blade packets, removing host polling/forwarding entirely.
+//! This experiment quantifies that proposal: the in-server organization
+//! (inter-group via host) vs the disaggregated one (inter-blade via CXL) at
+//! 2 blades × 8 DIMMs and 4 blades × 8 DIMMs, plus a fabric-latency sweep.
+
+use dimm_link::config::{IdcKind, SystemConfig};
+use dimm_link::runner::simulate;
+use dl_bench::{fmt_x, geo, print_table, save_json, Args};
+use dl_engine::Ps;
+use dl_workloads::{WorkloadKind, WorkloadParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    workload: String,
+    cxl_over_host: f64,
+}
+
+fn blades(dimms: usize, channels: usize, groups: usize, idc: IdcKind) -> SystemConfig {
+    let mut cfg = SystemConfig::nmp(dimms, channels).with_idc(idc);
+    cfg.groups = groups;
+    cfg
+}
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Extension (Section VI): DIMM-Link on disaggregated memory (scale {})",
+        args.scale
+    );
+
+    let mut out = Vec::new();
+    for (name, dimms, channels, groups) in
+        [("2 blades x 8", 16usize, 8usize, 2usize), ("4 blades x 8", 32, 16, 4)]
+    {
+        let mut rows = Vec::new();
+        let mut speedups = Vec::new();
+        for kind in [WorkloadKind::Pagerank, WorkloadKind::Sssp, WorkloadKind::Bfs] {
+            let params = WorkloadParams {
+                scale: args.scale,
+                seed: args.seed,
+                ..WorkloadParams::small(dimms)
+            };
+            let wl = kind.build(&params);
+            let host_org = simulate(&wl, &blades(dimms, channels, groups, IdcKind::DimmLink));
+            let cxl_org = simulate(&wl, &blades(dimms, channels, groups, IdcKind::DimmLinkCxl));
+            let s = host_org.elapsed.as_ps() as f64 / cxl_org.elapsed.as_ps() as f64;
+            speedups.push(s);
+            rows.push(vec![
+                kind.to_string(),
+                host_org.elapsed.to_string(),
+                cxl_org.elapsed.to_string(),
+                fmt_x(s),
+            ]);
+            out.push(Row {
+                config: name.to_string(),
+                workload: kind.to_string(),
+                cxl_over_host: s,
+            });
+        }
+        rows.push(vec!["geomean".into(), String::new(), String::new(), fmt_x(geo(&speedups))]);
+        print_table(
+            &format!("{name}: in-server (host-forwarded inter-group) vs disaggregated (CXL)"),
+            &["workload", "host org", "CXL org", "CXL speedup"],
+            &rows,
+        );
+    }
+
+    // Fabric-latency sensitivity: when does disaggregation stop paying off?
+    let mut rows = Vec::new();
+    let params = WorkloadParams {
+        scale: args.scale,
+        seed: args.seed,
+        ..WorkloadParams::small(16)
+    };
+    let wl = WorkloadKind::Pagerank.build(&params);
+    let host_org = simulate(&wl, &blades(16, 8, 2, IdcKind::DimmLink));
+    for lat_ns in [100u64, 250, 500, 1000, 2000] {
+        let mut cfg = blades(16, 8, 2, IdcKind::DimmLinkCxl);
+        cfg.cxl_latency = Ps::from_ns(lat_ns);
+        let r = simulate(&wl, &cfg);
+        rows.push(vec![
+            format!("{lat_ns} ns"),
+            fmt_x(host_org.elapsed.as_ps() as f64 / r.elapsed.as_ps() as f64),
+        ]);
+    }
+    print_table(
+        "PR, 2 blades: CXL speedup over the host organization vs fabric latency",
+        &["one-way fabric latency", "speedup"],
+        &rows,
+    );
+    save_json("ext_disaggregated", &out);
+}

@@ -1,0 +1,127 @@
+//! Figure 10 — point-to-point IDC performance.
+//!
+//! For each system size (4D-2C, 8D-4C, 12D-6C, 16D-8C) and each Table IV
+//! workload, reports the speedup over the fixed 16-core host CPU for MCN,
+//! AIM, DIMM-Link-base and DIMM-Link-opt (Algorithm 1, profiling time
+//! charged), plus the ratio of non-overlapped IDC cycles (the paper's line
+//! series).
+//!
+//! Paper reference: DIMM-Link-opt geomean 5.93x over the CPU; 2.42x over
+//! MCN; 1.87x over AIM; 1.12x over DIMM-Link-base.
+
+use dimm_link::config::{IdcKind, PlacementPolicy, SystemConfig};
+use dimm_link::runner::{host_baseline, simulate, simulate_optimized};
+use dl_bench::{fmt_pct, fmt_x, geo, print_table, save_json, Args};
+use dl_workloads::{WorkloadKind, WorkloadParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    config: String,
+    workload: String,
+    system: String,
+    speedup_vs_host: f64,
+    idc_stall_frac: f64,
+    elapsed_ns: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    println!("Figure 10: P2P speedup over the 16-core host CPU (scale {})", args.scale);
+
+    // Host baselines are independent of the NMP configuration.
+    let hosts: Vec<(WorkloadKind, f64)> = WorkloadKind::P2P_SET
+        .iter()
+        .map(|&k| {
+            let h = host_baseline(k, args.scale, args.seed);
+            (k, h.elapsed.as_ps() as f64)
+        })
+        .collect();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (cfg_name, base_cfg) in SystemConfig::p2p_sweep() {
+        let mut rows = Vec::new();
+        let mut per_system: Vec<(String, Vec<f64>)> = Vec::new();
+        for sys_name in ["MCN", "AIM", "DL-rand", "DL-base", "DL-opt"] {
+            per_system.push((sys_name.to_string(), Vec::new()));
+        }
+        for &(kind, host_ps) in &hosts {
+            let params = WorkloadParams {
+                dimms: base_cfg.dimms,
+                scale: args.scale,
+                seed: args.seed,
+                ..WorkloadParams::small(base_cfg.dimms)
+            };
+            let wl = kind.build(&params);
+            let mut row = vec![kind.to_string()];
+            // DL-rand: an affinity-oblivious runtime mapping — the situation
+            // Algorithm 1 rescues (it profiles from exactly this start).
+            let mut rand_cfg = base_cfg.clone().with_idc(IdcKind::DimmLink);
+            rand_cfg.placement = PlacementPolicy::Random;
+            let runs = [
+                ("MCN", simulate(&wl, &base_cfg.clone().with_idc(IdcKind::CpuForwarding))),
+                ("AIM", simulate(&wl, &base_cfg.clone().with_idc(IdcKind::DedicatedBus))),
+                ("DL-rand", simulate(&wl, &rand_cfg)),
+                ("DL-base", simulate(&wl, &base_cfg.clone().with_idc(IdcKind::DimmLink))),
+                ("DL-opt", simulate_optimized(&wl, &base_cfg.clone().with_idc(IdcKind::DimmLink))),
+            ];
+            for (i, (sys_name, r)) in runs.iter().enumerate() {
+                let speedup = host_ps / r.elapsed.as_ps() as f64;
+                per_system[i].1.push(speedup);
+                row.push(fmt_x(speedup));
+                cells.push(Cell {
+                    config: cfg_name.to_string(),
+                    workload: kind.to_string(),
+                    system: sys_name.to_string(),
+                    speedup_vs_host: speedup,
+                    idc_stall_frac: r.idc_stall_frac(),
+                    elapsed_ns: r.elapsed.as_ns_f64(),
+                });
+            }
+            // IDC stall ratio of the DL-opt run (the paper's line series).
+            row.push(fmt_pct(runs[4].1.idc_stall_frac()));
+            rows.push(row);
+        }
+        let mut geo_row = vec!["geomean".to_string()];
+        for (_, speedups) in &per_system {
+            geo_row.push(fmt_x(geo(speedups)));
+        }
+        geo_row.push(String::new());
+        rows.push(geo_row);
+        print_table(
+            &format!("Fig.10 {cfg_name}"),
+            &["workload", "MCN", "AIM", "DL-rand", "DL-base", "DL-opt", "IDC-cyc(DL-opt)"],
+            &rows,
+        );
+    }
+
+    // Cross-config geomeans (the paper's headline ratios).
+    let all = |sys: &str| -> Vec<f64> {
+        cells
+            .iter()
+            .filter(|c| c.system == sys)
+            .map(|c| c.speedup_vs_host)
+            .collect()
+    };
+    let g_mcn = geo(&all("MCN"));
+    let g_aim = geo(&all("AIM"));
+    let g_rand = geo(&all("DL-rand"));
+    let g_base = geo(&all("DL-base"));
+    let g_opt = geo(&all("DL-opt"));
+    print_table(
+        "Fig.10 headline geomeans (paper: DL-opt 5.93x; vs MCN 2.42x; vs AIM 1.87x; vs DL-base 1.12x)",
+        &["metric", "measured", "paper"],
+        &[
+            vec!["DL-opt vs host".into(), fmt_x(g_opt), "5.93x".into()],
+            vec!["DL-opt vs MCN".into(), fmt_x(g_opt / g_mcn), "2.42x".into()],
+            vec!["DL-opt vs AIM".into(), fmt_x(g_opt / g_aim), "1.87x".into()],
+            vec!["DL-opt vs DL-base".into(), fmt_x(g_opt / g_base), "1.12x".into()],
+            vec![
+                "DL-opt vs DL-rand (Algorithm 1 recovery)".into(),
+                fmt_x(g_opt / g_rand),
+                "n/a".into(),
+            ],
+        ],
+    );
+    save_json("fig10_p2p", &cells);
+}

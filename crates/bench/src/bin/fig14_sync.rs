@@ -1,0 +1,87 @@
+//! Figure 14 — synchronization sensitivity.
+//!
+//! (a) Synthetic sweep over the synchronization interval: speedup of
+//!     DIMM-Link-Hier over MCN, AIM and DIMM-Link-Central as barriers get
+//!     denser. Paper: at a 500-instruction interval, Hier beats MCN by 5.3x
+//!     and AIM by 2.2x.
+//! (b) End-to-end TS.Pow (SynCron's task). Paper: 1.46-1.74x over MCN.
+
+use dimm_link::config::{IdcKind, SyncScheme, SystemConfig};
+use dimm_link::runner::simulate;
+use dl_bench::{fmt_x, print_table, save_json, Args};
+use dl_workloads::{synth, WorkloadKind, WorkloadParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    interval_cycles: u32,
+    mcn_over_hier: f64,
+    aim_over_hier: f64,
+    central_over_hier: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    println!("Figure 14: synchronization sensitivity");
+
+    let base = SystemConfig::nmp(16, 8);
+    let hier = base.clone().with_idc(IdcKind::DimmLink);
+    let mut central = hier.clone();
+    central.sync = SyncScheme::Central;
+    let mcn = base.clone().with_idc(IdcKind::CpuForwarding);
+    let aim = base.clone().with_idc(IdcKind::DedicatedBus);
+
+    // (a) Interval sweep.
+    let rounds = if args.quick { 40 } else { 200 };
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for &interval in &[500u32, 1000, 2000, 5000, 10000] {
+        let params = WorkloadParams { scale: args.scale, seed: args.seed, ..WorkloadParams::small(16) };
+        let wl = synth::sync_sweep(&params, interval, rounds);
+        let t_hier = simulate(&wl, &hier).elapsed.as_ps() as f64;
+        let t_central = simulate(&wl, &central).elapsed.as_ps() as f64;
+        let t_mcn = simulate(&wl, &mcn).elapsed.as_ps() as f64;
+        let t_aim = simulate(&wl, &aim).elapsed.as_ps() as f64;
+        rows.push(vec![
+            interval.to_string(),
+            fmt_x(t_mcn / t_hier),
+            fmt_x(t_aim / t_hier),
+            fmt_x(t_central / t_hier),
+        ]);
+        points.push(Point {
+            interval_cycles: interval,
+            mcn_over_hier: t_mcn / t_hier,
+            aim_over_hier: t_aim / t_hier,
+            central_over_hier: t_central / t_hier,
+        });
+    }
+    print_table(
+        "Fig.14(a) DIMM-Link-Hier speedup vs sync interval (paper @500: 5.3x over MCN, 2.2x over AIM)",
+        &["interval (instr)", "vs MCN", "vs AIM", "vs DL-Central"],
+        &rows,
+    );
+
+    // (b) TS.Pow end-to-end. The lock-update frequency (and thus the
+    // synchronization pressure SynCron targets) falls off with series
+    // length, so this experiment caps the scale at the sync-rich regime.
+    let params = WorkloadParams {
+        scale: args.scale.min(11),
+        seed: args.seed,
+        ..WorkloadParams::small(16)
+    };
+    let wl = WorkloadKind::TsPow.build(&params);
+    let t_hier = simulate(&wl, &hier).elapsed.as_ps() as f64;
+    let t_mcn = simulate(&wl, &mcn).elapsed.as_ps() as f64;
+    let t_aim = simulate(&wl, &aim).elapsed.as_ps() as f64;
+    let t_central = simulate(&wl, &central).elapsed.as_ps() as f64;
+    print_table(
+        "Fig.14(b) TS.Pow end-to-end (paper: DL-Hier 1.46-1.74x over MCN)",
+        &["system", "speedup of DL-Hier"],
+        &[
+            vec!["vs MCN".into(), fmt_x(t_mcn / t_hier)],
+            vec!["vs AIM".into(), fmt_x(t_aim / t_hier)],
+            vec!["vs DL-Central".into(), fmt_x(t_central / t_hier)],
+        ],
+    );
+    save_json("fig14_sync", &points);
+}

@@ -1,0 +1,102 @@
+//! Figure 17 / Section VI — DL-group topology exploration at 16D-8C.
+//!
+//! Paper: relative to the practical chain ("half-ring") baseline, Ring
+//! accelerates P2P IDC by 1.11x, Mesh by 1.19x, Torus by 1.27x on average.
+
+use dimm_link::config::{IdcKind, SystemConfig};
+use dimm_link::runner::simulate;
+use dl_bench::{fmt_x, geo, print_table, save_json, Args};
+use dl_noc::TopologyKind;
+use dl_workloads::{WorkloadKind, WorkloadParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    ring: f64,
+    mesh: f64,
+    torus: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    println!("Figure 17: topology exploration at 16D-8C (scale {})", args.scale);
+    let topos = [TopologyKind::Ring, TopologyKind::Mesh, TopologyKind::Torus];
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut per_topo: Vec<Vec<f64>> = vec![Vec::new(); topos.len()];
+    for kind in WorkloadKind::P2P_SET {
+        let params = WorkloadParams {
+            scale: args.scale,
+            seed: args.seed,
+            ..WorkloadParams::small(16)
+        };
+        let wl = kind.build(&params);
+        let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+        cfg.topology = TopologyKind::Chain;
+        let base = simulate(&wl, &cfg).elapsed.as_ps() as f64;
+        let mut speeds = Vec::new();
+        for (i, &topo) in topos.iter().enumerate() {
+            let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+            cfg.topology = topo;
+            let t = simulate(&wl, &cfg).elapsed.as_ps() as f64;
+            let s = base / t;
+            per_topo[i].push(s);
+            speeds.push(s);
+        }
+        rows.push(vec![
+            kind.to_string(),
+            fmt_x(speeds[0]),
+            fmt_x(speeds[1]),
+            fmt_x(speeds[2]),
+        ]);
+        out.push(Row {
+            workload: kind.to_string(),
+            ring: speeds[0],
+            mesh: speeds[1],
+            torus: speeds[2],
+        });
+    }
+    rows.push(vec![
+        "geomean".into(),
+        fmt_x(geo(&per_topo[0])),
+        fmt_x(geo(&per_topo[1])),
+        fmt_x(geo(&per_topo[2])),
+    ]);
+    print_table(
+        "Fig.17 speedup over the chain baseline (paper: Ring 1.11x, Mesh 1.19x, Torus 1.27x)",
+        &["workload", "Ring", "Mesh", "Torus"],
+        &rows,
+    );
+
+    // Supplementary: the diameter effect in isolation. With two DL groups
+    // the inter-group host path hides intra-group hop savings; a single
+    // 16-DIMM group (chain diameter 15) under a uniform IDC stress exposes
+    // exactly the congestion/diameter problem Section VI discusses.
+    let params = WorkloadParams {
+        scale: args.scale,
+        seed: args.seed,
+        ..WorkloadParams::small(16)
+    };
+    let stress = dl_workloads::synth::uniform_random(&params, if args.quick { 500 } else { 4000 }, 0.9);
+    let mut srow = vec!["uniform-IDC stress".to_string()];
+    let mut base = 0.0;
+    for topo in [TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Mesh, TopologyKind::Torus] {
+        let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+        cfg.topology = topo;
+        cfg.groups = 1;
+        let t = simulate(&stress, &cfg).elapsed.as_ps() as f64;
+        if base == 0.0 {
+            base = t;
+            continue;
+        }
+        srow.push(fmt_x(base / t));
+    }
+    print_table(
+        "Fig.17 supplement: one 16-DIMM group (diameter 15), uniform IDC stress",
+        &["workload", "Ring", "Mesh", "Torus"],
+        &[srow],
+    );
+    save_json("fig17_topology", &out);
+}

@@ -1,0 +1,139 @@
+//! # dl-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (Section V) plus ablations. Each binary prints the same rows
+//! or series the paper reports and writes machine-readable results to
+//! `target/results/<name>.json`.
+//!
+//! Run, e.g.:
+//!
+//! ```text
+//! cargo run --release -p dl-bench --bin fig10_p2p
+//! cargo run --release -p dl-bench --bin fig10_p2p -- --quick   # small inputs
+//! cargo run --release -p dl-bench --bin fig10_p2p -- --scale 14
+//! ```
+
+use dl_engine::stats::geomean;
+use dl_engine::Ps;
+use serde::Serialize;
+use std::io::Write as _;
+
+/// Common command-line arguments of every experiment binary.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Workload scale (R-MAT log2 vertices etc.); default 13, `--quick` = 10.
+    pub scale: u32,
+    /// Input-generation seed.
+    pub seed: u64,
+    /// Quick mode for smoke-testing.
+    pub quick: bool,
+}
+
+impl Args {
+    /// Parses `--scale N`, `--seed N`, `--quick` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut scale = None;
+        let mut seed = 42;
+        let mut quick = false;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => scale = it.next().and_then(|v| v.parse().ok()),
+                "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+                "--quick" => quick = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale N] [--seed N] [--quick]");
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+        }
+        let scale = scale.unwrap_or(if quick { 10 } else { 13 });
+        Args { scale, seed, quick }
+    }
+}
+
+/// Pretty-prints an aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8) + 2))
+            .collect::<String>()
+    };
+    println!("{}", line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Writes `value` as JSON under `target/results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("target/results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap_or_default());
+        println!("[saved {}]", path.display());
+    }
+}
+
+/// Formats a speedup.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats simulated time.
+pub fn fmt_time(t: Ps) -> String {
+    t.to_string()
+}
+
+/// Geometric mean over a slice.
+pub fn geo(values: &[f64]) -> f64 {
+    geomean(values.iter().copied())
+}
+
+/// Bandwidth in GB/s from bytes moved over a span.
+pub fn gbps(bytes: u64, span: Ps) -> f64 {
+    if span == Ps::ZERO {
+        0.0
+    } else {
+        bytes as f64 / span.as_secs_f64() / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_and_format_helpers() {
+        assert!((geo(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(fmt_x(1.5), "1.50x");
+        assert_eq!(fmt_pct(0.305), "30.5%");
+    }
+
+    #[test]
+    fn gbps_math() {
+        let v = gbps(19_200_000_000, Ps::from_ms(1000));
+        assert!((v - 19.2).abs() < 1e-9);
+        assert_eq!(gbps(100, Ps::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,1146 @@
+//! The DIMM-NMP system simulator: trace-driven NMP cores with bounded
+//! memory-level parallelism, private L1s and a shared per-DIMM L2, per-DIMM
+//! DDR4 controllers, and one of the four IDC mechanisms for remote traffic.
+//!
+//! The paper's coarse-grained execution flow is assumed: the host has
+//! already loaded data and kernels, DIMMs are in NMP-Access mode, and the
+//! host only participates through polling and packet forwarding
+//! ([`crate::host::HostPath`]).
+
+use crate::config::{SyncScheme, SystemConfig};
+use crate::host::HostPath;
+use crate::idc::{distance_matrix, wire_bytes, Interconnect, Route, NOTIFY_BYTES};
+use dl_engine::stats::StatSet;
+use dl_engine::{EventQueue, Ps, Resource};
+use dl_mem::{AccessKind, Cache, CacheOutcome, DimmAddressMap, MemController, MemRequest};
+use dl_placement::AccessProfile;
+use dl_workloads::{Op, Workload};
+use std::collections::HashMap;
+
+/// Cycles of local bookkeeping at each synchronization stage.
+const SYNC_PROC: Ps = Ps::from_ns(5);
+/// Sync message payload (a flag/sequence number): one flit on the wire.
+const SYNC_BYTES: u64 = NOTIFY_BYTES;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    /// Window full; resumes on the next completion.
+    WaitWindow,
+    /// Needs an empty window before executing the op at `pc`.
+    WaitDrain,
+    /// Blocked on one specific transaction (atomic / broadcast).
+    WaitTxn(u64),
+    /// Arrived at a barrier, waiting for release.
+    WaitBarrier,
+    Done,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    pc: usize,
+    limit: usize,
+    outstanding: Vec<(u64, bool)>,
+    status: Status,
+    ready_at: Ps,
+    blocked_at: Ps,
+    idc_stall: Ps,
+    mem_stall: Ps,
+    sync_stall: Ps,
+    finish: Option<Ps>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TxnClass {
+    /// A local DRAM access a core is waiting on.
+    LocalMem { thread: usize },
+    /// DRAM access nobody waits for (writes, writebacks, remote-write
+    /// landings).
+    Background,
+    /// A remote read being serviced at its home DIMM; on completion the
+    /// response is sent back.
+    RemoteReadAtHome { thread: usize, home: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NetThen {
+    /// A remote read request arrived at its home DIMM: start the DRAM read.
+    StartRemoteRead { thread: usize, home: usize, addr: u64 },
+    /// A remote write arrived: complete the issuing core's slot and write
+    /// DRAM in the background.
+    LandRemoteWrite { thread: usize, home: usize, addr: u64 },
+    /// A read response (or atomic response) arrived back at the core.
+    Complete { thread: usize, remote: bool },
+    /// An atomic request arrived at its home DIMM: serialize and respond.
+    AtomicAtHome { thread: usize, home: usize, addr: u64 },
+    /// A broadcast finished delivering everywhere.
+    BroadcastDone { thread: usize },
+}
+
+#[derive(Debug)]
+enum Ev {
+    Wake(usize),
+    MemTick(usize),
+    Net(u64),
+}
+
+#[derive(Debug, Default)]
+struct BarrierGroupAgg {
+    arrived: usize,
+    ready_at: Ps,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    /// Threads participating (all of them; traces have balanced barriers).
+    total: usize,
+    arrived: usize,
+    /// Per-DIMM aggregation (hierarchical): count and latest local arrival.
+    dimm_agg: HashMap<usize, BarrierGroupAgg>,
+    /// Per-group aggregation: count of completed DIMMs and latest arrival
+    /// at the group master.
+    group_agg: HashMap<usize, BarrierGroupAgg>,
+    /// DIMMs (with ≥1 thread) per group and threads per DIMM, fixed per
+    /// placement.
+    threads_on_dimm: HashMap<usize, usize>,
+    dimms_in_group: HashMap<usize, usize>,
+    /// Completed-group arrivals at the global master.
+    global_arrived: usize,
+    global_ready: Ps,
+    /// Threads waiting for release.
+    waiting: Vec<usize>,
+}
+
+/// Aggregate outcome of one simulation.
+#[derive(Debug, Clone)]
+pub struct RawRun {
+    /// End-to-end simulated time.
+    pub elapsed: Ps,
+    /// All counters.
+    pub stats: StatSet,
+    /// Per-thread × per-DIMM traffic counts (Algorithm 1's `M` table).
+    pub profile: AccessProfile,
+}
+
+/// The NMP system simulator. Construct with [`NmpSystem::new`], run with
+/// [`NmpSystem::run`].
+pub struct NmpSystem<'w> {
+    cfg: SystemConfig,
+    workload: &'w Workload,
+    placement: Vec<usize>,
+    profiling: bool,
+    events: EventQueue<Ev>,
+    cores: Vec<CoreState>,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    mcs: Vec<MemController>,
+    mc_next: Vec<Ps>,
+    map: DimmAddressMap,
+    idc: Interconnect,
+    host: HostPath,
+    atomics: Vec<Resource>,
+    /// Per-DIMM synchronization master core: processes one sync message at
+    /// a time (the serialization hierarchical sync alleviates).
+    sync_units: Vec<Resource>,
+    barrier: BarrierState,
+    txn_mem: HashMap<u64, TxnClass>,
+    txn_net: HashMap<u64, NetThen>,
+    next_txn: u64,
+    now: Ps,
+    done: usize,
+    // traffic counters (bytes)
+    local_bytes: u64,
+    link_unicast_bytes: u64,
+    fwd_unicast_bytes: u64,
+    bus_unicast_bytes: u64,
+    cxl_unicast_bytes: u64,
+    broadcast_bytes: u64,
+    remote_reads: u64,
+    remote_writes: u64,
+    atomic_ops: u64,
+    barriers_passed: u64,
+    profile: AccessProfile,
+    ev_wake: u64,
+    ev_mem: u64,
+    ev_net: u64,
+    remote_issue: HashMap<u64, Ps>,
+    remote_rtt: dl_engine::stats::Histogram,
+    call_order: crate::idc::CallOrderStats,
+}
+
+impl<'w> NmpSystem<'w> {
+    /// Builds a system running `workload` with threads placed per
+    /// `placement` (`placement[t]` = DIMM of thread `t`).
+    ///
+    /// `limit_ops` truncates each trace (profiling runs); barriers are
+    /// treated as local no-ops in that mode since truncated traces are not
+    /// barrier-balanced.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid, the placement length mismatches, or
+    /// a DIMM is assigned more threads than it has cores.
+    pub fn new(
+        workload: &'w Workload,
+        cfg: &SystemConfig,
+        placement: &[usize],
+        limit_ops: Option<usize>,
+    ) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        let threads = workload.traces().len();
+        assert_eq!(placement.len(), threads, "one DIMM per thread");
+        let mut load = vec![0usize; cfg.dimms];
+        for &d in placement {
+            assert!(d < cfg.dimms, "placement targets DIMM {d} out of range");
+            load[d] += 1;
+        }
+        assert!(
+            load.iter().all(|&l| l <= cfg.cores_per_dimm),
+            "placement exceeds per-DIMM core count: {load:?}"
+        );
+        assert!(
+            workload.layout().dimms() == cfg.dimms,
+            "workload was generated for {} DIMMs, system has {}",
+            workload.layout().dimms(),
+            cfg.dimms
+        );
+
+        let idc = Interconnect::new(cfg);
+        let host = HostPath::new(cfg, &idc.proxy_channels(cfg));
+        let profiling = limit_ops.is_some();
+        let cores = (0..threads)
+            .map(|t| {
+                let len = workload.traces()[t].len();
+                CoreState {
+                    pc: 0,
+                    limit: limit_ops.map_or(len, |l| l.min(len)),
+                    outstanding: Vec::with_capacity(cfg.nmp_mlp),
+                    status: Status::Ready,
+                    ready_at: Ps::ZERO,
+                    blocked_at: Ps::ZERO,
+                    idc_stall: Ps::ZERO,
+                    mem_stall: Ps::ZERO,
+                    sync_stall: Ps::ZERO,
+                    finish: None,
+                }
+            })
+            .collect();
+
+        let mut threads_on_dimm = HashMap::new();
+        for &d in placement {
+            *threads_on_dimm.entry(d).or_insert(0) += 1;
+        }
+        let mut dimms_in_group: HashMap<usize, usize> = HashMap::new();
+        for &d in threads_on_dimm.keys() {
+            *dimms_in_group.entry(cfg.group_of(d)).or_insert(0) += 1;
+        }
+
+        let mut events = EventQueue::new();
+        for t in 0..threads {
+            events.push(Ps::ZERO, Ev::Wake(t));
+        }
+
+        NmpSystem {
+            workload,
+            placement: placement.to_vec(),
+            profiling,
+            events,
+            cores,
+            l1: (0..threads).map(|_| Cache::new(cfg.nmp_l1)).collect(),
+            l2: (0..cfg.dimms).map(|_| Cache::new(cfg.nmp_l2)).collect(),
+            mcs: (0..cfg.dimms)
+                .map(|d| MemController::new(format!("dimm{d}"), &cfg.dram))
+                .collect(),
+            mc_next: vec![Ps::MAX; cfg.dimms],
+            map: DimmAddressMap::new(&cfg.dram),
+            idc,
+            host,
+            atomics: (0..cfg.dimms)
+                .map(|d| Resource::new(format!("dimm{d}.atomic")))
+                .collect(),
+            sync_units: (0..cfg.dimms)
+                .map(|d| Resource::new(format!("dimm{d}.sync-master")))
+                .collect(),
+            barrier: BarrierState {
+                total: threads,
+                arrived: 0,
+                dimm_agg: HashMap::new(),
+                group_agg: HashMap::new(),
+                threads_on_dimm,
+                dimms_in_group,
+                global_arrived: 0,
+                global_ready: Ps::ZERO,
+                waiting: Vec::new(),
+            },
+            txn_mem: HashMap::new(),
+            txn_net: HashMap::new(),
+            next_txn: 0,
+            now: Ps::ZERO,
+            done: 0,
+            local_bytes: 0,
+            link_unicast_bytes: 0,
+            fwd_unicast_bytes: 0,
+            bus_unicast_bytes: 0,
+            cxl_unicast_bytes: 0,
+            broadcast_bytes: 0,
+            remote_reads: 0,
+            remote_writes: 0,
+            atomic_ops: 0,
+            barriers_passed: 0,
+            profile: AccessProfile::new(threads, cfg.dimms),
+            ev_wake: 0,
+            ev_mem: 0,
+            ev_net: 0,
+            remote_issue: HashMap::new(),
+            remote_rtt: dl_engine::stats::Histogram::new(),
+            call_order: crate::idc::CallOrderStats::default(),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Runs to completion and collects results.
+    ///
+    /// # Panics
+    /// Panics on deadlock (event queue drained with live threads — e.g.
+    /// barrier-unbalanced traces) or if the event budget is exhausted.
+    pub fn run(mut self) -> RawRun {
+        const EVENT_BUDGET: u64 = 2_000_000_000;
+        while let Some((t, ev)) = self.events.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            match ev {
+                Ev::Wake(c) => {
+                    self.ev_wake += 1;
+                    self.advance_core(c)
+                }
+                Ev::MemTick(d) => {
+                    self.ev_mem += 1;
+                    self.mem_tick(d)
+                }
+                Ev::Net(id) => {
+                    self.ev_net += 1;
+                    self.net_event(id)
+                }
+            }
+            assert!(
+                self.events.total_scheduled() < EVENT_BUDGET,
+                "event budget exhausted — runaway simulation"
+            );
+            if self.done == self.cores.len() {
+                break;
+            }
+        }
+        assert_eq!(
+            self.done,
+            self.cores.len(),
+            "deadlock: {} of {} threads finished (unbalanced barriers?)",
+            self.done,
+            self.cores.len()
+        );
+        self.collect()
+    }
+
+    fn alloc_txn(&mut self) -> u64 {
+        self.next_txn += 1;
+        self.next_txn
+    }
+
+    // ------------------------------------------------------------------
+    // Core execution
+    // ------------------------------------------------------------------
+
+    fn advance_core(&mut self, c: usize) {
+        if self.cores[c].status != Status::Ready {
+            return; // stale wake
+        }
+        let mut t = self.now.max(self.cores[c].ready_at);
+        let horizon = self.events.peek_time().unwrap_or(Ps::MAX);
+        let trace = self.workload.traces()[c].ops();
+
+        let mut horizon = horizon;
+        loop {
+            // Refresh the horizon: our own issues may have scheduled events.
+            horizon = horizon.min(self.events.peek_time().unwrap_or(Ps::MAX));
+            // Yield if we have run ahead of the event queue.
+            if t > horizon {
+                self.cores[c].ready_at = t;
+                self.events.push(t, Ev::Wake(c));
+                return;
+            }
+            if self.cores[c].pc >= self.cores[c].limit {
+                // Trace finished; drain outstanding requests.
+                if self.cores[c].outstanding.is_empty() {
+                    self.cores[c].status = Status::Done;
+                    self.cores[c].finish = Some(t);
+                    self.done += 1;
+                } else {
+                    self.cores[c].status = Status::WaitDrain;
+                    self.cores[c].blocked_at = t;
+                }
+                return;
+            }
+            let op = trace[self.cores[c].pc];
+            match op {
+                Op::Comp(cycles) => {
+                    self.cores[c].pc += 1;
+                    t += self.cfg.nmp_freq.cycles(cycles as u64);
+                }
+                Op::Load { addr, cacheable } | Op::Store { addr, cacheable } => {
+                    let is_write = matches!(op, Op::Store { .. });
+                    self.record_profile(c, addr);
+                    if cacheable {
+                        match self.cache_access(c, addr, is_write, t) {
+                            CacheLookup::Hit(lat) => {
+                                self.cores[c].pc += 1;
+                                t += lat;
+                                continue;
+                            }
+                            CacheLookup::Miss { writeback } => {
+                                if let Some(victim) = writeback {
+                                    self.background_write(c, victim, t);
+                                }
+                                // fall through to the memory issue below
+                            }
+                        }
+                    }
+                    if self.cores[c].outstanding.len() >= self.cfg.nmp_mlp {
+                        self.cores[c].status = Status::WaitWindow;
+                        self.cores[c].blocked_at = t;
+                        self.cores[c].ready_at = t;
+                        return;
+                    }
+                    self.cores[c].pc += 1;
+                    self.issue_mem(c, addr, is_write, t);
+                    t += self.cfg.nmp_freq.cycles(1);
+                }
+                Op::Atomic { addr } => {
+                    if !self.cores[c].outstanding.is_empty() {
+                        self.cores[c].status = Status::WaitDrain;
+                        self.cores[c].blocked_at = t;
+                        self.cores[c].ready_at = t;
+                        return;
+                    }
+                    self.record_profile(c, addr);
+                    self.cores[c].pc += 1;
+                    self.issue_atomic(c, addr, t);
+                    return;
+                }
+                Op::Broadcast { addr, bytes } => {
+                    if self.cores[c].outstanding.len() >= self.cfg.nmp_mlp {
+                        self.cores[c].status = Status::WaitWindow;
+                        self.cores[c].blocked_at = t;
+                        self.cores[c].ready_at = t;
+                        return;
+                    }
+                    self.record_profile(c, addr);
+                    self.cores[c].pc += 1;
+                    self.issue_broadcast(c, addr, bytes, t);
+                    t += self.cfg.nmp_freq.cycles(2);
+                }
+                Op::Barrier => {
+                    if self.profiling {
+                        // Barriers are meaningless on truncated traces.
+                        self.cores[c].pc += 1;
+                        t += self.cfg.nmp_freq.cycles(10);
+                        continue;
+                    }
+                    if !self.cores[c].outstanding.is_empty() {
+                        self.cores[c].status = Status::WaitDrain;
+                        self.cores[c].blocked_at = t;
+                        self.cores[c].ready_at = t;
+                        return;
+                    }
+                    self.cores[c].pc += 1;
+                    self.cores[c].status = Status::WaitBarrier;
+                    self.cores[c].blocked_at = t;
+                    self.barrier_arrive(c, t);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Resumes a core after its blocking condition cleared.
+    fn unblock(&mut self, c: usize, at: Ps, was_remote: bool) {
+        let core = &mut self.cores[c];
+        let stall = at.saturating_sub(core.blocked_at);
+        match core.status {
+            Status::WaitWindow | Status::WaitDrain | Status::WaitTxn(_) => {
+                if was_remote {
+                    core.idc_stall += stall;
+                } else {
+                    core.mem_stall += stall;
+                }
+            }
+            Status::WaitBarrier => core.sync_stall += stall,
+            _ => {}
+        }
+        core.status = Status::Ready;
+        core.ready_at = at;
+        self.events.push(at, Ev::Wake(c));
+    }
+
+    // ------------------------------------------------------------------
+    // Memory path
+    // ------------------------------------------------------------------
+
+    fn cache_access(&mut self, c: usize, addr: u64, is_write: bool, _t: Ps) -> CacheLookup {
+        let l1_lat = self.cfg.nmp_freq.cycles(self.l1[c].hit_latency_cycles() as u64);
+        match self.l1[c].access(addr, is_write) {
+            CacheOutcome::Hit => return CacheLookup::Hit(l1_lat),
+            CacheOutcome::Miss { writeback } => {
+                let dimm = self.placement[c];
+                let l2_lat = self.cfg.nmp_freq.cycles(self.l2[dimm].hit_latency_cycles() as u64);
+                // L1 victims land in the shared L2.
+                let mut victim_to_mem = None;
+                if let Some(v) = writeback {
+                    if let CacheOutcome::Miss { writeback: Some(v2) } =
+                        self.l2[dimm].access(v, true)
+                    {
+                        victim_to_mem = Some(v2);
+                    }
+                }
+                match self.l2[dimm].access(addr, is_write) {
+                    CacheOutcome::Hit => {
+                        debug_assert!(victim_to_mem.is_none() || true);
+                        CacheLookup::Hit(l1_lat + l2_lat)
+                    }
+                    CacheOutcome::Miss { writeback: wb2 } => CacheLookup::Miss {
+                        writeback: wb2.or(victim_to_mem),
+                    },
+                }
+            }
+        }
+    }
+
+    fn record_profile(&mut self, c: usize, addr: u64) {
+        self.profile.record(c, self.workload.layout().dimm_of(addr), 1);
+    }
+
+    /// All interconnect sends funnel through here so call-time monotonicity
+    /// can be checked (FIFO resources assume near-time-ordered reservation).
+    fn idc_unicast(&mut self, now: Ps, src: usize, dst: usize, bytes: u64) -> (Ps, Route) {
+        self.call_order.observe(now);
+        let (arrival, route) = self.idc.unicast(&mut self.host, &self.cfg, now, src, dst, bytes);
+        self.count_route(route, bytes);
+        (arrival, route)
+    }
+
+    fn count_route(&mut self, route: Route, bytes: u64) {
+        match route {
+            Route::Link => self.link_unicast_bytes += bytes,
+            Route::HostForward => self.fwd_unicast_bytes += bytes,
+            Route::Bus => self.bus_unicast_bytes += bytes,
+            Route::Cxl => self.cxl_unicast_bytes += bytes,
+            Route::Local | Route::ChannelBroadcast => {}
+        }
+    }
+
+    fn issue_mem(&mut self, c: usize, addr: u64, is_write: bool, t: Ps) {
+        let running = self.placement[c];
+        let target = self.workload.layout().dimm_of(addr);
+        let id = self.alloc_txn();
+        if target == running {
+            self.local_bytes += 64;
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            self.cores[c].outstanding.push((id, false));
+            self.txn_mem.insert(id, TxnClass::LocalMem { thread: c });
+            self.mc_enqueue(target, t, MemRequest::new(id, kind, self.decode(addr)));
+        } else if is_write {
+            self.remote_writes += 1;
+            let bytes = wire_bytes(64);
+            let (arrival, _) = self.idc_unicast(t, running, target, bytes);
+            self.cores[c].outstanding.push((id, true));
+            self.txn_net.insert(
+                id,
+                NetThen::LandRemoteWrite { thread: c, home: target, addr },
+            );
+            self.events.push(arrival, Ev::Net(id));
+        } else {
+            self.remote_reads += 1;
+            let bytes = wire_bytes(0);
+            let (arrival, _) = self.idc_unicast(t, running, target, bytes);
+            self.cores[c].outstanding.push((id, true));
+            self.remote_issue.insert(id, t);
+            self.txn_net.insert(
+                id,
+                NetThen::StartRemoteRead { thread: c, home: target, addr },
+            );
+            self.events.push(arrival, Ev::Net(id));
+        }
+    }
+
+    fn issue_atomic(&mut self, c: usize, addr: u64, t: Ps) {
+        self.atomic_ops += 1;
+        let running = self.placement[c];
+        let target = self.workload.layout().dimm_of(addr);
+        let id = self.alloc_txn();
+        self.cores[c].status = Status::WaitTxn(id);
+        self.cores[c].blocked_at = t;
+        if target == running {
+            let done = self.atomics[target].reserve(t, self.cfg.atomic_service);
+            self.local_bytes += 128; // read + write of the line
+            self.background_mem(target, done, addr, AccessKind::Write);
+            self.txn_net.insert(id, NetThen::Complete { thread: c, remote: false });
+            self.events.push(done, Ev::Net(id));
+        } else {
+            let bytes = wire_bytes(8);
+            let (arrival, _) = self.idc_unicast(t, running, target, bytes);
+            self.txn_net.insert(id, NetThen::AtomicAtHome { thread: c, home: target, addr });
+            self.events.push(arrival, Ev::Net(id));
+        }
+    }
+
+    fn issue_broadcast(&mut self, c: usize, addr: u64, payload: u32, t: Ps) {
+        let src = self.workload.layout().dimm_of(addr);
+        let bytes = wire_bytes(payload as u64);
+        let arrivals = self.idc.broadcast(&mut self.host, &self.cfg, t, src, bytes);
+        self.broadcast_bytes += bytes * (self.cfg.dimms as u64 - 1);
+        let done = arrivals.into_iter().max().unwrap_or(t);
+        let id = self.alloc_txn();
+        self.cores[c].outstanding.push((id, true));
+        self.txn_net.insert(id, NetThen::BroadcastDone { thread: c });
+        self.events.push(done, Ev::Net(id));
+    }
+
+    fn background_write(&mut self, c: usize, addr: u64, t: Ps) {
+        let running = self.placement[c];
+        let target = self.workload.layout().dimm_of(addr);
+        if target == running {
+            self.local_bytes += 64;
+            self.background_mem(target, t, addr, AccessKind::Write);
+        } else {
+            // Dirty line belonging to a remote DIMM: posted remote write
+            // that nobody waits for.
+            self.remote_writes += 1;
+            let bytes = wire_bytes(64);
+            let (arrival, _) = self.idc_unicast(t, running, target, bytes);
+            let id = self.alloc_txn();
+            self.txn_net.insert(id, NetThen::LandRemoteWrite { thread: usize::MAX, home: target, addr });
+            self.events.push(arrival, Ev::Net(id));
+        }
+    }
+
+    fn background_mem(&mut self, dimm: usize, at: Ps, addr: u64, kind: AccessKind) {
+        let id = self.alloc_txn();
+        self.txn_mem.insert(id, TxnClass::Background);
+        self.mc_enqueue(dimm, at, MemRequest::new(id, kind, self.decode(addr)));
+    }
+
+    fn decode(&self, addr: u64) -> dl_mem::DimmAddr {
+        self.map.decode(self.workload.layout().offset_of(addr))
+    }
+
+    fn mc_enqueue(&mut self, dimm: usize, at: Ps, req: MemRequest) {
+        self.mcs[dimm].enqueue(at, req);
+        let wake = at.max(self.now);
+        if self.mc_next[dimm] > wake {
+            self.mc_next[dimm] = wake;
+            self.events.push(wake, Ev::MemTick(dimm));
+        }
+    }
+
+    fn mem_tick(&mut self, dimm: usize) {
+        // Exactly one live event per controller: anything not matching the
+        // recorded wake time is a stale duplicate and must not spawn a
+        // successor (that would chain events forever).
+        if self.now != self.mc_next[dimm] {
+            return;
+        }
+        self.mc_next[dimm] = Ps::MAX;
+        let completions = self.mcs[dimm].service(self.now);
+        for comp in completions {
+            let Some(class) = self.txn_mem.remove(&comp.id) else { continue };
+            match class {
+                TxnClass::Background => {}
+                TxnClass::LocalMem { thread } => self.complete_slot(thread, comp.id, comp.at),
+                TxnClass::RemoteReadAtHome { thread, home } => {
+                    // Ship the data back to the requesting core, keeping the
+                    // transaction id so the core's window slot is freed.
+                    let running = self.placement[thread];
+                    let bytes = wire_bytes(64);
+                    let (arrival, _) = self.idc_unicast(comp.at, home, running, bytes);
+                    self.txn_net.insert(comp.id, NetThen::Complete { thread, remote: true });
+                    self.events.push(arrival, Ev::Net(comp.id));
+                }
+            }
+        }
+        if let Some(w) = self.mcs[dimm].next_wake() {
+            if self.mc_next[dimm] > w {
+                self.mc_next[dimm] = w;
+                self.events.push(w, Ev::MemTick(dimm));
+            }
+        }
+    }
+
+    fn net_event(&mut self, id: u64) {
+        let Some(then) = self.txn_net.remove(&id) else { return };
+        match then {
+            NetThen::StartRemoteRead { thread, home, addr } => {
+                self.local_bytes += 64;
+                self.txn_mem.insert(id, TxnClass::RemoteReadAtHome { thread, home });
+                self.mc_enqueue(home, self.now, MemRequest::new(id, AccessKind::Read, self.decode(addr)));
+            }
+            NetThen::LandRemoteWrite { thread, home, addr } => {
+                self.local_bytes += 64;
+                self.background_mem(home, self.now, addr, AccessKind::Write);
+                if thread != usize::MAX {
+                    self.complete_slot(thread, id, self.now);
+                }
+            }
+            NetThen::Complete { thread, remote } => {
+                if let Some(issued) = self.remote_issue.remove(&id) {
+                    self.remote_rtt.record((self.now.saturating_sub(issued)).as_ps());
+                }
+                if let Status::WaitTxn(waited) = self.cores[thread].status {
+                    debug_assert_eq!(waited, id);
+                    self.unblock(thread, self.now, remote);
+                } else {
+                    self.complete_slot(thread, id, self.now);
+                }
+            }
+            NetThen::AtomicAtHome { thread, home, addr } => {
+                let done = self.atomics[home].reserve(self.now, self.cfg.atomic_service);
+                self.local_bytes += 128;
+                self.background_mem(home, done, addr, AccessKind::Write);
+                let running = self.placement[thread];
+                let bytes = wire_bytes(8);
+                let (arrival, _) = self.idc_unicast(done, home, running, bytes);
+                let rid = self.alloc_txn();
+                self.txn_net.insert(rid, NetThen::Complete { thread, remote: true });
+                // Re-point the waiting core at the response transaction.
+                if let Status::WaitTxn(_) = self.cores[thread].status {
+                    self.cores[thread].status = Status::WaitTxn(rid);
+                }
+                self.events.push(arrival, Ev::Net(rid));
+            }
+            NetThen::BroadcastDone { thread } => self.complete_slot(thread, id, self.now),
+        }
+    }
+
+    /// Frees a window slot and resumes the core if it was blocked.
+    fn complete_slot(&mut self, c: usize, id: u64, at: Ps) {
+        let core = &mut self.cores[c];
+        let Some(pos) = core.outstanding.iter().position(|&(tid, _)| tid == id) else {
+            return;
+        };
+        let (_, remote) = core.outstanding.swap_remove(pos);
+        match core.status {
+            Status::WaitWindow => self.unblock(c, at, remote),
+            Status::WaitDrain if core.outstanding.is_empty() => self.unblock(c, at, remote),
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers
+    // ------------------------------------------------------------------
+
+    fn barrier_arrive(&mut self, c: usize, t: Ps) {
+        self.barrier.arrived += 1;
+        self.barrier.waiting.push(c);
+        let dimm = self.placement[c];
+        match self.cfg.sync {
+            SyncScheme::Central => {
+                let master = self.global_master();
+                let at_master = self.sync_hop(t, dimm, master);
+                let absorbed = self.master_absorb(master, at_master);
+                self.barrier.global_ready = self.barrier.global_ready.max(absorbed);
+            }
+            SyncScheme::Hierarchical => {
+                // Stage 1: core -> DIMM master (local, serialized at the
+                // master core).
+                let local = t + self.cfg.local_sync_latency;
+                let absorbed = self.master_absorb(dimm, local);
+                let agg = self.barrier.dimm_agg.entry(dimm).or_default();
+                agg.arrived += 1;
+                agg.ready_at = agg.ready_at.max(absorbed);
+                let dimm_threads = self.barrier.threads_on_dimm[&dimm];
+                if agg.arrived == dimm_threads {
+                    let dimm_done = agg.ready_at + SYNC_PROC;
+                    self.barrier.dimm_agg.remove(&dimm);
+                    // Stage 2: DIMM master -> group master.
+                    let group = self.cfg.group_of(dimm);
+                    let gmaster = self.group_master(group);
+                    let at_gm = self.sync_hop(dimm_done, dimm, gmaster);
+                    let at_gm = self.master_absorb(gmaster, at_gm);
+                    let gagg = self.barrier.group_agg.entry(group).or_default();
+                    gagg.arrived += 1;
+                    gagg.ready_at = gagg.ready_at.max(at_gm);
+                    if gagg.arrived == self.barrier.dimms_in_group[&group] {
+                        let group_done = gagg.ready_at + SYNC_PROC;
+                        self.barrier.group_agg.remove(&group);
+                        // Stage 3: group master -> global master.
+                        let at_global =
+                            self.sync_hop(group_done, gmaster, self.global_master());
+                        let at_global = self.master_absorb(self.global_master(), at_global);
+                        self.barrier.global_arrived += 1;
+                        self.barrier.global_ready = self.barrier.global_ready.max(at_global);
+                    }
+                }
+            }
+        }
+        if self.barrier.arrived == self.barrier.total {
+            self.barrier_release();
+        }
+    }
+
+    fn barrier_release(&mut self) {
+        self.barriers_passed += 1;
+        let release_from = self.barrier.global_ready + SYNC_PROC;
+        let waiting = std::mem::take(&mut self.barrier.waiting);
+        self.barrier.arrived = 0;
+        self.barrier.global_arrived = 0;
+        self.barrier.global_ready = Ps::ZERO;
+        let master = self.global_master();
+        match self.cfg.sync {
+            SyncScheme::Central => {
+                let mut waiting = waiting;
+                waiting.sort_unstable();
+                for c in waiting {
+                    let dimm = self.placement[c];
+                    // The master initiates release messages one at a time.
+                    let sent = self.master_absorb(master, release_from);
+                    let at = self.sync_hop(sent, master, dimm);
+                    self.unblock(c, at, false);
+                }
+            }
+            SyncScheme::Hierarchical => {
+                // global master -> group masters -> DIMM masters -> cores.
+                let mut dimm_release: HashMap<usize, Ps> = HashMap::new();
+                let mut dimms: Vec<usize> = self.barrier.threads_on_dimm.keys().copied().collect();
+                dimms.sort_unstable(); // deterministic resource reservation order
+                let mut group_release: HashMap<usize, Ps> = HashMap::new();
+                let mut groups: Vec<usize> = self.barrier.dimms_in_group.keys().copied().collect();
+                groups.sort_unstable();
+                for g in groups {
+                    let gm = self.group_master(g);
+                    let sent = self.master_absorb(master, release_from);
+                    let at = self.sync_hop(sent, master, gm);
+                    group_release.insert(g, at + SYNC_PROC);
+                }
+                for d in dimms {
+                    let g = self.cfg.group_of(d);
+                    let gm = self.group_master(g);
+                    let sent = self.master_absorb(gm, group_release[&g]);
+                    let at = self.sync_hop(sent, gm, d);
+                    dimm_release.insert(d, at + SYNC_PROC);
+                }
+                let mut waiting = waiting;
+                waiting.sort_unstable();
+                for c in waiting {
+                    let d = self.placement[c];
+                    let sent = self.master_absorb(d, dimm_release[&d]);
+                    let at = sent + self.cfg.local_sync_latency;
+                    self.unblock(c, at, false);
+                }
+            }
+        }
+    }
+
+    /// Sends a synchronization message from DIMM `a` to DIMM `b`.
+    fn sync_hop(&mut self, t: Ps, a: usize, b: usize) -> Ps {
+        if a == b {
+            return t + SYNC_PROC;
+        }
+        self.call_order.observe(t);
+        let (arrival, route) =
+            self.idc.sync_unicast(&mut self.host, &self.cfg, t, a, b, SYNC_BYTES);
+        self.count_route(route, SYNC_BYTES);
+        arrival
+    }
+
+    /// The master core on `dimm` processes one sync message arriving at
+    /// `at`; returns when it has been absorbed.
+    fn master_absorb(&mut self, dimm: usize, at: Ps) -> Ps {
+        self.sync_units[dimm].reserve(at, self.cfg.sync_master_proc)
+    }
+
+    /// The global synchronization master: the proxy of group 0 for
+    /// DIMM-Link, DIMM 0 otherwise.
+    fn global_master(&self) -> usize {
+        self.idc.dimm_link().map_or(0, |dl| dl.proxies()[0])
+    }
+
+    fn group_master(&self, group: usize) -> usize {
+        self.idc
+            .dimm_link()
+            .map_or(0, |dl| dl.proxies().get(group).copied().unwrap_or(0))
+    }
+
+    // ------------------------------------------------------------------
+    // Results
+    // ------------------------------------------------------------------
+
+    fn collect(mut self) -> RawRun {
+        let elapsed = self
+            .cores
+            .iter()
+            .map(|c| c.finish.expect("all threads finished"))
+            .max()
+            .unwrap_or(Ps::ZERO);
+        self.host.finalize(elapsed);
+
+        let threads = self.cores.len() as f64;
+        let idc_stall: Ps = self.cores.iter().map(|c| c.idc_stall).sum();
+        let mem_stall: Ps = self.cores.iter().map(|c| c.mem_stall).sum();
+        let sync_stall: Ps = self.cores.iter().map(|c| c.sync_stall).sum();
+
+        let mut s = StatSet::new();
+        s.set("elapsed_ps", elapsed.as_ps() as f64);
+        s.set("events_scheduled", self.events.total_scheduled() as f64);
+        s.set("events.wake", self.ev_wake as f64);
+        s.set("events.mem", self.ev_mem as f64);
+        s.set("events.net", self.ev_net as f64);
+        s.set("remote_read_rtt_mean_ns", self.remote_rtt.mean() / 1e3);
+        s.set("remote_read_rtt_p99_ns", self.remote_rtt.percentile(0.99) as f64 / 1e3);
+        s.set("remote_read_rtt_max_ns", self.remote_rtt.max() as f64 / 1e3);
+        s.set("idc.call_inversions", self.call_order.inversions as f64);
+        s.set("idc.call_max_backjump_ns", self.call_order.max_backjump as f64 / 1e3);
+        if let Some(dl) = self.idc.dimm_link() {
+            s.set("dl.notify_wait_mean_ns", dl.notify_wait.mean() / 1e3);
+            s.set("dl.disc_wait_mean_ns", dl.disc_wait.mean() / 1e3);
+            s.set("dl.fwd_wait_mean_ns", dl.fwd_wait.mean() / 1e3);
+            s.set("dl.fwd_wait_max_ns", dl.fwd_wait.max() as f64 / 1e3);
+            s.set("dl.disc_wait_max_ns", dl.disc_wait.max() as f64 / 1e3);
+            s.set("dl.notify_wait_max_ns", dl.notify_wait.max() as f64 / 1e3);
+        }
+        s.set("threads", threads);
+        s.set(
+            "idc_stall_frac",
+            if elapsed == Ps::ZERO { 0.0 } else {
+                idc_stall.as_ps() as f64 / (elapsed.as_ps() as f64 * threads)
+            },
+        );
+        s.set(
+            "mem_stall_frac",
+            if elapsed == Ps::ZERO { 0.0 } else {
+                mem_stall.as_ps() as f64 / (elapsed.as_ps() as f64 * threads)
+            },
+        );
+        s.set(
+            "sync_stall_frac",
+            if elapsed == Ps::ZERO { 0.0 } else {
+                sync_stall.as_ps() as f64 / (elapsed.as_ps() as f64 * threads)
+            },
+        );
+        s.set("traffic.local_bytes", self.local_bytes as f64);
+        s.set("traffic.link_bytes", self.link_unicast_bytes as f64);
+        s.set("traffic.fwd_bytes", self.fwd_unicast_bytes as f64);
+        s.set("traffic.bus_bytes", self.bus_unicast_bytes as f64);
+        s.set("traffic.cxl_bytes", self.cxl_unicast_bytes as f64);
+        s.set("traffic.broadcast_bytes", self.broadcast_bytes as f64);
+        s.set("remote_reads", self.remote_reads as f64);
+        s.set("remote_writes", self.remote_writes as f64);
+        s.set("atomics", self.atomic_ops as f64);
+        s.set("barriers", self.barriers_passed as f64);
+        s.set("host.fwd_packets", self.host.forwarded_packets() as f64);
+        s.set("host.fwd_bytes", self.host.forwarded_bytes() as f64);
+        s.set("host.polls", self.host.polls() as f64);
+        s.set("host.interrupts", self.host.interrupts() as f64);
+        s.set("host.channel_bytes", self.host.channel_bytes() as f64);
+        s.set("host.bus_occupancy", self.host.bus_occupancy(elapsed));
+        s.set("idc.private_bytes", self.idc.private_bytes() as f64);
+
+        let mut activates = 0u64;
+        let mut dram_reads = 0u64;
+        let mut dram_writes = 0u64;
+        for mc in &self.mcs {
+            activates += mc.activates();
+            dram_reads += mc.reads();
+            dram_writes += mc.writes();
+        }
+        s.set("dram.activates", activates as f64);
+        for (d, mc) in self.mcs.iter().enumerate() {
+            s.set(format!("dram.dimm{d}.reads"), mc.reads() as f64);
+            s.set(format!("dram.dimm{d}.lat_ns"), mc.latency_histogram().mean() / 1e3);
+        }
+        s.set("dram.reads", dram_reads as f64);
+        s.set("dram.writes", dram_writes as f64);
+        let mut l1h = 0.0;
+        for l1 in &self.l1 {
+            l1h += l1.hit_rate();
+        }
+        s.set("cache.l1_hit_rate_mean", l1h / threads);
+
+        RawRun { elapsed, stats: s, profile: self.profile }
+    }
+}
+
+enum CacheLookup {
+    Hit(Ps),
+    Miss { writeback: Option<u64> },
+}
+
+/// Convenience: the natural placement (thread on its data's home DIMM).
+pub fn natural_placement(workload: &Workload) -> Vec<usize> {
+    workload.home_dimm().to_vec()
+}
+
+/// Random placement respecting per-DIMM core capacity (the starting point
+/// of the profiling run in Algorithm 1).
+pub fn random_placement(workload: &Workload, cfg: &SystemConfig, seed: u64) -> Vec<usize> {
+    let threads = workload.traces().len();
+    let mut slots: Vec<usize> = (0..cfg.dimms)
+        .flat_map(|d| std::iter::repeat(d).take(cfg.cores_per_dimm))
+        .collect();
+    let mut rng = dl_engine::DetRng::seed(seed).stream("placement");
+    rng.shuffle(&mut slots);
+    slots.truncate(threads);
+    slots
+}
+
+/// Runs Algorithm 1 end to end: profile on a random placement, solve the
+/// min-cost max-flow, return the optimized placement plus the profiling
+/// run's elapsed time (which the paper charges to the end-to-end result).
+pub fn optimized_placement(cfg: &SystemConfig, profile_run: &RawRun) -> Vec<usize> {
+    let idc = Interconnect::new(cfg);
+    let dist = distance_matrix(cfg, &idc);
+    dl_placement::place_threads(&profile_run.profile, &dist, cfg.cores_per_dimm)
+        .expect("threads fit on cores by construction")
+        .assignment()
+        .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IdcKind;
+    use dl_workloads::{synth, WorkloadParams};
+
+    fn quick_params(dimms: usize) -> WorkloadParams {
+        WorkloadParams { scale: 8, ..WorkloadParams::small(dimms) }
+    }
+
+    fn run(cfg: &SystemConfig, wl: &Workload) -> RawRun {
+        let placement = natural_placement(wl);
+        NmpSystem::new(wl, cfg, &placement, None).run()
+    }
+
+    #[test]
+    fn local_only_workload_has_no_idc() {
+        let params = quick_params(4);
+        let wl = synth::uniform_random(&params, 200, 0.0);
+        let cfg = SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink);
+        let r = run(&cfg, &wl);
+        assert!(r.elapsed > Ps::ZERO);
+        assert_eq!(r.stats.get("remote_reads"), Some(0.0));
+        assert_eq!(r.stats.get("remote_writes"), Some(0.0));
+        // Only the final barrier's sync messages ride the links.
+        assert!(r.stats.get("traffic.link_bytes").unwrap() < 200.0);
+        assert_eq!(r.stats.get("idc_stall_frac"), Some(0.0));
+    }
+
+    #[test]
+    fn remote_traffic_rides_the_links_for_dimm_link() {
+        let params = quick_params(4);
+        let wl = synth::uniform_random(&params, 200, 0.8);
+        let cfg = SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink);
+        let r = run(&cfg, &wl);
+        assert!(r.stats.get("remote_reads").unwrap() > 0.0);
+        assert!(r.stats.get("traffic.link_bytes").unwrap() > 0.0);
+        // Single group: nothing is host-forwarded.
+        assert_eq!(r.stats.get("traffic.fwd_bytes"), Some(0.0));
+        assert!(r.stats.get("idc_stall_frac").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn mcn_is_slower_than_dimm_link_on_remote_traffic() {
+        let params = quick_params(4);
+        let wl = synth::uniform_random(&params, 300, 0.8);
+        let dl = run(&SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink), &wl);
+        let mcn = run(&SystemConfig::nmp(4, 2).with_idc(IdcKind::CpuForwarding), &wl);
+        assert!(
+            mcn.elapsed.as_ps() > 2 * dl.elapsed.as_ps(),
+            "MCN {} vs DIMM-Link {}",
+            mcn.elapsed,
+            dl.elapsed
+        );
+    }
+
+    #[test]
+    fn barriers_complete_on_all_schemes() {
+        let params = quick_params(4);
+        let wl = synth::sync_sweep(&params, 1000, 20);
+        for idc in [IdcKind::CpuForwarding, IdcKind::DedicatedBus, IdcKind::DimmLink] {
+            let cfg = SystemConfig::nmp(4, 2).with_idc(idc);
+            let r = run(&cfg, &wl);
+            assert_eq!(r.stats.get("barriers"), Some(20.0), "{idc}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_sync_beats_central_on_dimm_link() {
+        let params = quick_params(16);
+        let wl = synth::sync_sweep(&params, 500, 30);
+        let mut central = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+        central.sync = SyncScheme::Central;
+        let mut hier = central.clone();
+        hier.sync = SyncScheme::Hierarchical;
+        let rc = run(&central, &wl);
+        let rh = run(&hier, &wl);
+        assert!(
+            rh.elapsed < rc.elapsed,
+            "hierarchical {} vs central {}",
+            rh.elapsed,
+            rc.elapsed
+        );
+    }
+
+    #[test]
+    fn profiling_run_is_shorter_and_fills_profile() {
+        let params = quick_params(4);
+        let wl = synth::uniform_random(&params, 500, 0.5);
+        let cfg = SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink);
+        let placement = random_placement(&wl, &cfg, 1);
+        let full = NmpSystem::new(&wl, &cfg, &placement, None).run();
+        let prof = NmpSystem::new(&wl, &cfg, &placement, Some(50)).run();
+        assert!(prof.elapsed < full.elapsed / 2);
+        assert!(prof.profile.total() > 0);
+    }
+
+    #[test]
+    fn optimized_placement_reduces_remote_traffic() {
+        let params = quick_params(4);
+        // Heavily local workload: random placement scatters threads away
+        // from their data; Algorithm 1 must bring them home.
+        let wl = synth::uniform_random(&params, 400, 0.1);
+        let cfg = SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink);
+        let rand_place = random_placement(&wl, &cfg, 7);
+        let prof = NmpSystem::new(&wl, &cfg, &rand_place, Some(100)).run();
+        let opt = optimized_placement(&cfg, &prof);
+        let r_rand = NmpSystem::new(&wl, &cfg, &rand_place, None).run();
+        let r_opt = NmpSystem::new(&wl, &cfg, &opt, None).run();
+        let remote = |r: &RawRun| {
+            r.stats.get("remote_reads").unwrap() + r.stats.get("remote_writes").unwrap()
+        };
+        assert!(
+            remote(&r_opt) < remote(&r_rand),
+            "optimized placement did not reduce remote traffic: {} vs {}",
+            remote(&r_opt),
+            remote(&r_rand)
+        );
+        assert!(r_opt.elapsed <= r_rand.elapsed);
+    }
+
+    #[test]
+    fn random_placement_respects_capacity() {
+        let params = quick_params(4);
+        let wl = synth::uniform_random(&params, 10, 0.0);
+        let cfg = SystemConfig::nmp(4, 2);
+        let p = random_placement(&wl, &cfg, 3);
+        assert_eq!(p.len(), 16);
+        for d in 0..4 {
+            assert!(p.iter().filter(|&&x| x == d).count() <= cfg.cores_per_dimm);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "placement exceeds")]
+    fn overloaded_placement_rejected() {
+        let params = quick_params(4);
+        let wl = synth::uniform_random(&params, 10, 0.0);
+        let cfg = SystemConfig::nmp(4, 2);
+        let placement = vec![0; 16]; // 16 threads on DIMM 0's 4 cores
+        let _ = NmpSystem::new(&wl, &cfg, &placement, None);
+    }
+}

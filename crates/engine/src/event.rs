@@ -1,0 +1,174 @@
+//! Deterministic discrete-event queue.
+
+use crate::time::Ps;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    at: Ps,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    // Reversed so that the std max-heap yields the *earliest* entry first;
+    // ties break on insertion order (FIFO) for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// Every simulator in this workspace drives its model by popping the earliest
+/// pending event, advancing the clock to its timestamp, and handling it.
+/// Events scheduled for the same timestamp are delivered in insertion order,
+/// which makes simulations bit-reproducible across runs.
+///
+/// # Examples
+///
+/// ```
+/// use dl_engine::{EventQueue, Ps};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Ps::from_ns(5), 'b');
+/// q.push(Ps::from_ns(5), 'c'); // same time: FIFO order preserved
+/// q.push(Ps::from_ns(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    scheduled: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Ps, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Ps, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Ps> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (a cheap progress metric).
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("scheduled", &self.scheduled)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Ps::from_ns(3), 3u32);
+        q.push(Ps::from_ns(1), 1u32);
+        q.push(Ps::from_ns(2), 2u32);
+        assert_eq!(q.pop(), Some((Ps::from_ns(1), 1)));
+        assert_eq!(q.pop(), Some((Ps::from_ns(2), 2)));
+        assert_eq!(q.pop(), Some((Ps::from_ns(3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(Ps::from_ns(7), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(Ps::from_ns(9), ());
+        assert_eq!(q.peek_time(), Some(Ps::from_ns(9)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn counts_scheduled() {
+        let mut q = EventQueue::new();
+        q.push(Ps::ZERO, ());
+        q.push(Ps::ZERO, ());
+        q.pop();
+        assert_eq!(q.total_scheduled(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Ps::from_ns(10), "late");
+        q.push(Ps::from_ns(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.push(Ps::from_ns(5), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+}

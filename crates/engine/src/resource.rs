@@ -1,0 +1,415 @@
+//! Contended, utilization-tracked resources.
+//!
+//! Memory channels, the AIM dedicated bus, and DIMM-Link SerDes links are all
+//! modelled as shared resources: a transfer occupies the resource for a
+//! duration; overlapping transfers queue. The resource additionally
+//! integrates its busy time, which is how the paper's "memory bus
+//! occupation" metric (Fig. 15-b) is measured.
+//!
+//! Scheduling is **work-conserving** (gap-filling): a reservation starts at
+//! the earliest instant at or after its request time with enough idle
+//! capacity. This matters because multi-stage transactions (read a channel,
+//! cross the host, write another channel) reserve later stages at future
+//! times; a naive single-cursor FIFO would permanently waste the idle gap in
+//! front of every future reservation, silently serializing pipelined
+//! traffic.
+
+use crate::time::Ps;
+use std::collections::VecDeque;
+
+/// Reservations older than this (relative to the newest request time) are
+/// pruned; requests are assumed never to arrive more than this far in the
+/// past (event-driven callers are near-time-ordered).
+const RETENTION: Ps = Ps::from_us(50);
+
+/// A shared, capacity-1 resource (bus, link, port) with gap-filling
+/// reservation.
+///
+/// # Examples
+///
+/// ```
+/// use dl_engine::{Resource, Ps};
+///
+/// let mut bus = Resource::new("memory-bus");
+/// let first = bus.reserve(Ps::from_ns(0), Ps::from_ns(10));
+/// assert_eq!(first, Ps::from_ns(10));
+/// // A transfer requested at t=5 queues behind the first one.
+/// let second = bus.reserve(Ps::from_ns(5), Ps::from_ns(10));
+/// assert_eq!(second, Ps::from_ns(20));
+/// assert_eq!(bus.busy_time(), Ps::from_ns(20));
+/// // A reservation far in the future leaves the gap usable:
+/// bus.reserve(Ps::from_us(1), Ps::from_ns(10));
+/// let gap_fill = bus.reserve(Ps::from_ns(20), Ps::from_ns(10));
+/// assert_eq!(gap_fill, Ps::from_ns(30));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: String,
+    /// Sorted, disjoint busy intervals `[start, end)`.
+    intervals: VecDeque<(Ps, Ps)>,
+    /// Largest request time seen (drives pruning).
+    high_water: Ps,
+    busy: Ps,
+    reservations: u64,
+}
+
+impl Resource {
+    /// Creates an idle resource with a diagnostic `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Resource {
+            name: name.into(),
+            intervals: VecDeque::new(),
+            high_water: Ps::ZERO,
+            busy: Ps::ZERO,
+            reservations: 0,
+        }
+    }
+
+    /// Reserves the resource for `dur`, starting at the earliest idle gap at
+    /// or after `now`. Returns the completion time.
+    pub fn reserve(&mut self, now: Ps, dur: Ps) -> Ps {
+        self.reserve_with_start(now, dur).1
+    }
+
+    /// Like [`Resource::reserve`] but also returns the start time, which is
+    /// useful when the caller needs the queueing delay separately.
+    pub fn reserve_with_start(&mut self, now: Ps, dur: Ps) -> (Ps, Ps) {
+        self.busy += dur;
+        self.reservations += 1;
+        self.high_water = self.high_water.max(now);
+        self.prune();
+        if dur == Ps::ZERO {
+            return (now, now);
+        }
+        // Find the first gap of length >= dur starting at or after `now`.
+        let mut start = now;
+        let mut pos = self.intervals.len();
+        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+            if e <= start {
+                continue;
+            }
+            if s >= start + dur {
+                pos = i;
+                break;
+            }
+            start = e;
+        }
+        let end = start + dur;
+        // Insert and merge with neighbours.
+        // `pos` is the index before which [start, end) belongs.
+        let mut pos = pos.min(self.intervals.len());
+        // Walk back over intervals that now sit after `start`.
+        while pos > 0 && self.intervals[pos - 1].1 >= start {
+            pos -= 1;
+        }
+        let mut new_s = start;
+        let mut new_e = end;
+        while pos < self.intervals.len() && self.intervals[pos].0 <= new_e {
+            let (s, e) = self.intervals[pos];
+            if e < new_s {
+                pos += 1;
+                continue;
+            }
+            new_s = new_s.min(s);
+            new_e = new_e.max(e);
+            self.intervals.remove(pos);
+        }
+        self.intervals.insert(pos, (new_s, new_e));
+        (start, end)
+    }
+
+    fn prune(&mut self) {
+        let watermark = self.high_water.saturating_sub(RETENTION);
+        while let Some(&(_, e)) = self.intervals.front() {
+            if e < watermark && self.intervals.len() > 1 {
+                self.intervals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The end of the last scheduled reservation (the time after which the
+    /// resource is certainly idle).
+    pub fn free_at(&self) -> Ps {
+        self.intervals.back().map_or(Ps::ZERO, |&(_, e)| e)
+    }
+
+    /// Whether the resource has no reservation at or after `now`.
+    pub fn is_free(&self, now: Ps) -> bool {
+        self.free_at() <= now
+    }
+
+    /// Total time the resource has been occupied.
+    pub fn busy_time(&self) -> Ps {
+        self.busy
+    }
+
+    /// Number of reservations made so far.
+    pub fn reservations(&self) -> u64 {
+        self.reservations
+    }
+
+    /// Fraction of `[0, total]` this resource was occupied.
+    ///
+    /// Returns 0 for a zero-length window.
+    pub fn utilization(&self, total: Ps) -> f64 {
+        if total == Ps::ZERO {
+            0.0
+        } else {
+            self.busy.as_ps() as f64 / total.as_ps() as f64
+        }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Counts `dur` of occupancy without scheduling it: used for work that
+    /// provably happened during past idle time (e.g. backlogged polling
+    /// periods) and therefore must contribute to utilization statistics but
+    /// must not delay future reservations.
+    pub fn account_busy(&mut self, dur: Ps) {
+        self.busy += dur;
+        self.reservations += 1;
+    }
+
+    /// Resets occupancy accounting (used between profiling and measured runs).
+    pub fn reset_accounting(&mut self) {
+        self.busy = Ps::ZERO;
+        self.reservations = 0;
+    }
+}
+
+/// A [`Resource`] with an associated bandwidth, reserving by transfer size.
+///
+/// # Examples
+///
+/// ```
+/// use dl_engine::{BandwidthResource, Ps};
+///
+/// // A 25 GB/s DIMM-Link lane: 256 bytes take ~10.24 ns to serialize.
+/// let mut link = BandwidthResource::new("dl-lane", 25_000_000_000);
+/// let done = link.transfer(Ps::ZERO, 256);
+/// assert_eq!(done, Ps::from_ps(10_240));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthResource {
+    inner: Resource,
+    bytes_per_sec: u64,
+    bytes_moved: u64,
+}
+
+impl BandwidthResource {
+    /// Creates a resource moving `bytes_per_sec` bytes per second.
+    ///
+    /// # Panics
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(name: impl Into<String>, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be non-zero");
+        BandwidthResource {
+            inner: Resource::new(name),
+            bytes_per_sec,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Duration needed to move `bytes` at this resource's bandwidth
+    /// (rounded up to a whole picosecond, minimum 1 ps for non-empty
+    /// transfers).
+    pub fn duration_of(&self, bytes: u64) -> Ps {
+        if bytes == 0 {
+            return Ps::ZERO;
+        }
+        let ps = (bytes as u128 * 1_000_000_000_000u128).div_ceil(self.bytes_per_sec as u128);
+        Ps::from_ps(ps as u64)
+    }
+
+    /// Reserves the resource to move `bytes` starting no earlier than `now`;
+    /// returns the completion time.
+    pub fn transfer(&mut self, now: Ps, bytes: u64) -> Ps {
+        self.bytes_moved += bytes;
+        let dur = self.duration_of(bytes);
+        self.inner.reserve(now, dur)
+    }
+
+    /// Reserves for `bytes` and returns `(start, end)`.
+    pub fn transfer_with_start(&mut self, now: Ps, bytes: u64) -> (Ps, Ps) {
+        self.bytes_moved += bytes;
+        let dur = self.duration_of(bytes);
+        self.inner.reserve_with_start(now, dur)
+    }
+
+    /// Occupies the resource for a fixed duration unrelated to bandwidth
+    /// (e.g. a polling register read on a memory channel).
+    pub fn occupy(&mut self, now: Ps, dur: Ps) -> Ps {
+        self.inner.reserve(now, dur)
+    }
+
+    /// See [`Resource::account_busy`].
+    pub fn account_busy(&mut self, dur: Ps) {
+        self.inner.account_busy(dur);
+    }
+
+    /// Whether the resource is idle at `now`.
+    pub fn is_free(&self, now: Ps) -> bool {
+        self.inner.is_free(now)
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Configured bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// The earliest time a new reservation could start.
+    pub fn free_at(&self) -> Ps {
+        self.inner.free_at()
+    }
+
+    /// Total time occupied.
+    pub fn busy_time(&self) -> Ps {
+        self.inner.busy_time()
+    }
+
+    /// Fraction of `[0, total]` occupied.
+    pub fn utilization(&self, total: Ps) -> f64 {
+        self.inner.utilization(total)
+    }
+
+    /// Number of reservations made so far.
+    pub fn reservations(&self) -> u64 {
+        self.inner.reservations()
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Resets occupancy accounting (used between profiling and measured runs).
+    pub fn reset_accounting(&mut self) {
+        self.inner.reset_accounting();
+        self.bytes_moved = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_serialization() {
+        let mut r = Resource::new("r");
+        assert_eq!(r.reserve(Ps::from_ns(0), Ps::from_ns(4)), Ps::from_ns(4));
+        assert_eq!(r.reserve(Ps::from_ns(1), Ps::from_ns(4)), Ps::from_ns(8));
+        // A late request starts immediately once the resource is free.
+        assert_eq!(r.reserve(Ps::from_ns(100), Ps::from_ns(1)), Ps::from_ns(101));
+        assert_eq!(r.reservations(), 3);
+    }
+
+    #[test]
+    fn utilization_integrates_busy_time() {
+        let mut r = Resource::new("r");
+        r.reserve(Ps::ZERO, Ps::from_ns(25));
+        assert!((r.utilization(Ps::from_ns(100)) - 0.25).abs() < 1e-12);
+        assert_eq!(r.utilization(Ps::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reserve_with_start_reports_queueing() {
+        let mut r = Resource::new("r");
+        r.reserve(Ps::ZERO, Ps::from_ns(10));
+        let (start, end) = r.reserve_with_start(Ps::from_ns(2), Ps::from_ns(5));
+        assert_eq!(start, Ps::from_ns(10));
+        assert_eq!(end, Ps::from_ns(15));
+    }
+
+    #[test]
+    fn bandwidth_duration_rounds_up() {
+        let link = BandwidthResource::new("l", 1_000_000_000_000); // 1 byte/ps
+        assert_eq!(link.duration_of(0), Ps::ZERO);
+        assert_eq!(link.duration_of(7), Ps::from_ps(7));
+        let slow = BandwidthResource::new("s", 3); // 3 bytes/sec
+        // 1 byte at 3 B/s = 333.33... ms, rounded up.
+        assert_eq!(slow.duration_of(1), Ps::from_ps(333_333_333_334));
+    }
+
+    #[test]
+    fn transfers_queue_and_count_bytes() {
+        let mut link = BandwidthResource::new("l", 1_000_000_000_000);
+        let a = link.transfer(Ps::ZERO, 100);
+        let b = link.transfer(Ps::ZERO, 100);
+        assert_eq!(a, Ps::from_ps(100));
+        assert_eq!(b, Ps::from_ps(200));
+        assert_eq!(link.bytes_moved(), 200);
+    }
+
+    #[test]
+    fn reset_accounting_clears_counters_not_schedule() {
+        let mut r = Resource::new("r");
+        r.reserve(Ps::ZERO, Ps::from_ns(10));
+        r.reset_accounting();
+        assert_eq!(r.busy_time(), Ps::ZERO);
+        assert_eq!(r.reservations(), 0);
+        // The schedule (free_at) is preserved: the bus is still busy.
+        assert_eq!(r.free_at(), Ps::from_ns(10));
+    }
+
+    #[test]
+    fn gap_filling_backfills_idle_time() {
+        let mut r = Resource::new("r");
+        // A future reservation leaves the earlier gap usable.
+        assert_eq!(r.reserve(Ps::from_ns(1000), Ps::from_ns(10)), Ps::from_ns(1010));
+        assert_eq!(r.reserve(Ps::from_ns(0), Ps::from_ns(10)), Ps::from_ns(10));
+        // A gap too small is skipped.
+        let end = r.reserve(Ps::from_ns(995), Ps::from_ns(10));
+        assert_eq!(end, Ps::from_ns(1020));
+        assert_eq!(r.busy_time(), Ps::from_ns(30));
+    }
+
+    #[test]
+    fn pipelined_stages_do_not_serialize() {
+        // The regression behind this design: stage-2 reservations at
+        // now+offset must not consume the idle time before them.
+        let mut r = Resource::new("cpu");
+        let mut last = Ps::ZERO;
+        for i in 0..100u64 {
+            let stage2_at = Ps::from_ns(10 * i + 150);
+            last = r.reserve(stage2_at, Ps::from_ns(5));
+        }
+        // 100 x 5 ns of work arriving every 10 ns: finishes ~ last arrival,
+        // not 100 x 150 ns.
+        assert!(last < Ps::from_ns(10 * 100 + 150 + 20), "serialized: {last}");
+    }
+
+    #[test]
+    fn account_busy_counts_without_scheduling() {
+        let mut r = Resource::new("r");
+        r.account_busy(Ps::from_ns(100));
+        assert_eq!(r.busy_time(), Ps::from_ns(100));
+        assert_eq!(r.free_at(), Ps::ZERO);
+        assert_eq!(r.reserve(Ps::ZERO, Ps::from_ns(5)), Ps::from_ns(5));
+    }
+
+    #[test]
+    fn adjacent_reservations_merge() {
+        let mut r = Resource::new("r");
+        for i in 0..1000u64 {
+            r.reserve(Ps::from_ns(i), Ps::from_ns(1));
+        }
+        assert_eq!(r.free_at(), Ps::from_ns(1000));
+        assert_eq!(r.busy_time(), Ps::from_ns(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bandwidth_panics() {
+        let _ = BandwidthResource::new("z", 0);
+    }
+}

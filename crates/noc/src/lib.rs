@@ -1,0 +1,44 @@
+//! # dl-noc
+//!
+//! The interconnect network model — this workspace's stand-in for BookSim,
+//! which the DIMM-Link paper uses (via MultiPIM) to simulate the DL-Bridge
+//! and DL-Router network.
+//!
+//! Two fidelity levels are provided:
+//!
+//! * [`PacketNet`] — an event-driven, packet-granularity model: every
+//!   unidirectional SerDes link is a bandwidth-tracked FIFO resource; a
+//!   packet reserves each link of its route in turn (store-and-forward with
+//!   a per-hop router latency). This captures serialization, queueing and
+//!   congestion, and is fast enough for the paper's full parameter sweeps.
+//! * [`FlitNet`] — a cycle-stepped, flit-granularity model with input-
+//!   buffered routers and credit-based flow control, used to validate the
+//!   packet-level model (see the `ablation_fidelity` bench) exactly the way
+//!   BookSim validates coarser models.
+//!
+//! Topologies ([`Topology`]): the paper's baseline **chain** ("half-ring":
+//! adjacent DIMMs connected by bidirectional links), plus the **ring**,
+//! **mesh**, and **torus** alternatives explored in its Section VI /
+//! Figure 17.
+//!
+//! # Examples
+//!
+//! ```
+//! use dl_engine::Ps;
+//! use dl_noc::{LinkParams, PacketNet, Topology, TopologyKind};
+//!
+//! // 8 DIMMs in one DL group, chained (the paper's default).
+//! let topo = Topology::new(TopologyKind::Chain, 8);
+//! assert_eq!(topo.diameter(), 7);
+//! let mut net = PacketNet::new(&topo, LinkParams::grs_25gbps());
+//! let arrival = net.send(Ps::ZERO, 0, 3, 272); // one max-size packet
+//! assert!(arrival > Ps::ZERO);
+//! ```
+
+pub mod flitnet;
+pub mod packetnet;
+pub mod topology;
+
+pub use flitnet::{FlitNet, FlitNetConfig};
+pub use packetnet::{LinkParams, PacketNet};
+pub use topology::{LinkId, Topology, TopologyKind};

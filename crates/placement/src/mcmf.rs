@@ -1,0 +1,209 @@
+//! Minimum-cost maximum-flow via successive shortest paths (SPFA).
+
+/// One directed edge with residual bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    cost: i64,
+    flow: i64,
+}
+
+/// A min-cost max-flow problem instance.
+///
+/// Successive shortest paths with an SPFA (queue-based Bellman-Ford) path
+/// search; handles non-negative edge costs (negative residual costs arise
+/// internally and are handled by SPFA).
+///
+/// # Examples
+///
+/// ```
+/// use dl_placement::MinCostFlow;
+///
+/// // Two unit flows from 0 to 3 through parallel middle nodes.
+/// let mut g = MinCostFlow::new(4);
+/// g.add_edge(0, 1, 1, 1);
+/// g.add_edge(0, 2, 1, 5);
+/// g.add_edge(1, 3, 1, 1);
+/// g.add_edge(2, 3, 1, 1);
+/// let (flow, cost) = g.solve(0, 3);
+/// assert_eq!((flow, cost), (2, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    n: usize,
+    edges: Vec<Edge>,
+    /// adjacency: node -> indices into `edges`
+    adj: Vec<Vec<usize>>,
+}
+
+impl MinCostFlow {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        MinCostFlow {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a directed edge `u -> v` and returns its handle.
+    ///
+    /// # Panics
+    /// Panics if a node is out of range, `cap < 0`, or `cost < 0`
+    /// (the public interface accepts only non-negative costs; residual
+    /// negatives are internal).
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: i64, cost: i64) -> usize {
+        assert!(u < self.n && v < self.n, "node out of range");
+        assert!(cap >= 0, "negative capacity");
+        assert!(cost >= 0, "negative cost");
+        let id = self.edges.len();
+        self.edges.push(Edge { to: v, cap, cost, flow: 0 });
+        self.edges.push(Edge { to: u, cap: 0, cost: -cost, flow: 0 });
+        self.adj[u].push(id);
+        self.adj[v].push(id + 1);
+        id
+    }
+
+    /// Flow currently routed through the edge returned by
+    /// [`add_edge`](MinCostFlow::add_edge).
+    pub fn flow_on(&self, edge: usize) -> i64 {
+        self.edges[edge].flow
+    }
+
+    /// Computes a maximum flow of minimum cost from `s` to `t`.
+    ///
+    /// Returns `(flow, cost)`.
+    ///
+    /// # Panics
+    /// Panics if `s == t` or a node is out of range.
+    pub fn solve(&mut self, s: usize, t: usize) -> (i64, i64) {
+        assert!(s < self.n && t < self.n && s != t, "bad terminals");
+        let mut total_flow = 0i64;
+        let mut total_cost = 0i64;
+        loop {
+            // SPFA shortest path by cost in the residual graph.
+            let mut dist = vec![i64::MAX; self.n];
+            let mut in_queue = vec![false; self.n];
+            let mut parent_edge = vec![usize::MAX; self.n];
+            dist[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            in_queue[s] = true;
+            while let Some(u) = queue.pop_front() {
+                in_queue[u] = false;
+                let du = dist[u];
+                for &eid in &self.adj[u] {
+                    let e = self.edges[eid];
+                    if e.cap - e.flow > 0 && du != i64::MAX && du + e.cost < dist[e.to] {
+                        dist[e.to] = du + e.cost;
+                        parent_edge[e.to] = eid;
+                        if !in_queue[e.to] {
+                            queue.push_back(e.to);
+                            in_queue[e.to] = true;
+                        }
+                    }
+                }
+            }
+            if dist[t] == i64::MAX {
+                break;
+            }
+            // Bottleneck along the path.
+            let mut push = i64::MAX;
+            let mut v = t;
+            while v != s {
+                let eid = parent_edge[v];
+                let e = self.edges[eid];
+                push = push.min(e.cap - e.flow);
+                v = self.edges[eid ^ 1].to;
+            }
+            // Augment.
+            let mut v = t;
+            while v != s {
+                let eid = parent_edge[v];
+                self.edges[eid].flow += push;
+                self.edges[eid ^ 1].flow -= push;
+                v = self.edges[eid ^ 1].to;
+            }
+            total_flow += push;
+            total_cost += push * dist[t];
+        }
+        (total_flow, total_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, 5, 3);
+        assert_eq!(g.solve(0, 1), (5, 15));
+    }
+
+    #[test]
+    fn chooses_cheaper_path_first() {
+        let mut g = MinCostFlow::new(4);
+        let cheap = g.add_edge(0, 1, 1, 1);
+        g.add_edge(1, 3, 1, 0);
+        let pricey = g.add_edge(0, 2, 1, 10);
+        g.add_edge(2, 3, 1, 0);
+        let (flow, cost) = g.solve(0, 3);
+        assert_eq!((flow, cost), (2, 11));
+        assert_eq!(g.flow_on(cheap), 1);
+        assert_eq!(g.flow_on(pricey), 1);
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 3, 1);
+        g.add_edge(1, 2, 2, 1); // bottleneck
+        assert_eq!(g.solve(0, 2), (2, 4));
+    }
+
+    #[test]
+    fn rerouting_via_residual_edges() {
+        // Classic case where a greedy shortest path must be partially undone.
+        //      0 -> 1 (cap 1, cost 1)    0 -> 2 (cap 1, cost 2)
+        //      1 -> 2 (cap 1, cost 0)    1 -> 3 (cap 1, cost 2)
+        //      2 -> 3 (cap 1, cost 1)
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1, 1);
+        g.add_edge(0, 2, 1, 2);
+        g.add_edge(1, 2, 1, 0);
+        g.add_edge(1, 3, 1, 2);
+        g.add_edge(2, 3, 1, 1);
+        let (flow, cost) = g.solve(0, 3);
+        assert_eq!(flow, 2);
+        // Optimal: 0-1-2-3 (2) and 0-2? cap used... min cost is 2 + 5? Two
+        // units: {0-1-2-3 cost 2, 0-2-3 blocked by cap on 2-3} -> must use
+        // 0-1-3: total = (0-1-2-3 = 2) + ... only one unit via 1. Solver
+        // finds: unit A 0-1-2-3 (2), unit B 0-2 + 2-3 full -> reroute:
+        // B takes 0-2-3 while A moves to 0-1-3: total (1+2)+(2+1)=6.
+        assert_eq!(cost, 6);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 1, 1);
+        assert_eq!(g.solve(0, 2), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative cost")]
+    fn negative_cost_rejected() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, 1, -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad terminals")]
+    fn same_terminals_rejected() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, 1, 1);
+        g.solve(1, 1);
+    }
+}

@@ -1,0 +1,386 @@
+//! Data-link layer: reliable delivery (ACK / timeout / retransmit) and
+//! credit-based flow control (paper Section III-B, "Data Link Layer").
+//!
+//! Each unidirectional link has a [`DllEndpoint`] on its sending side. The
+//! endpoint assigns sequence numbers (carried in the packet tail's DLL
+//! field), holds unacknowledged packets for retransmission, and respects the
+//! receiver's buffer credits. The receiving side validates the CRC, emits an
+//! ACK for good packets, and de-duplicates retransmissions.
+
+use crate::packet::{Flit, Packet, ProtocolError};
+use dl_engine::Ps;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Credit-based flow control for one link direction.
+///
+/// One credit corresponds to one packet-sized slot in the receiver's
+/// DL-Buffer.
+///
+/// # Examples
+///
+/// ```
+/// use dl_protocol::CreditCounter;
+///
+/// let mut c = CreditCounter::new(2);
+/// assert!(c.try_consume());
+/// assert!(c.try_consume());
+/// assert!(!c.try_consume()); // exhausted
+/// c.refill(1);
+/// assert!(c.try_consume());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreditCounter {
+    available: u32,
+    max: u32,
+}
+
+impl CreditCounter {
+    /// Creates a counter with `max` credits available.
+    ///
+    /// # Panics
+    /// Panics if `max` is zero.
+    pub fn new(max: u32) -> Self {
+        assert!(max > 0, "credit pool must be non-empty");
+        CreditCounter { available: max, max }
+    }
+
+    /// Consumes one credit if available.
+    pub fn try_consume(&mut self) -> bool {
+        if self.available > 0 {
+            self.available -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `n` credits.
+    ///
+    /// # Panics
+    /// Panics if the refill would exceed the pool size (a protocol bug).
+    pub fn refill(&mut self, n: u32) {
+        assert!(
+            self.available + n <= self.max,
+            "credit overflow: {} + {n} > {}",
+            self.available,
+            self.max
+        );
+        self.available += n;
+    }
+
+    /// Credits currently available.
+    pub fn available(&self) -> u32 {
+        self.available
+    }
+
+    /// Pool size.
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+}
+
+/// Something the link layer asks the physical layer to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DllEvent {
+    /// Transmit this packet (first transmission or retransmission).
+    Transmit(Packet),
+    /// Deliver this packet to the transaction layer (receiver side).
+    Deliver(Packet),
+    /// Send an acknowledgement for `seq` back to the sender.
+    SendAck {
+        /// Sequence number being acknowledged.
+        seq: u32,
+    },
+}
+
+/// Sender + receiver state machine for one link direction.
+///
+/// # Examples
+///
+/// ```
+/// use dl_engine::Ps;
+/// use dl_protocol::{DimmId, DlCommand, DllEndpoint, DllEvent, Packet, PacketHeader};
+///
+/// let mut tx = DllEndpoint::new(4, Ps::from_ns(100));
+/// let mut rx = DllEndpoint::new(4, Ps::from_ns(100));
+///
+/// let h = PacketHeader::new(DimmId(0), DimmId(1), DlCommand::ReadReq, 0, 0)?;
+/// let ev = tx.send(Ps::ZERO, Packet::without_payload(h));
+/// let DllEvent::Transmit(on_wire) = &ev[0] else { panic!() };
+///
+/// let evs = rx.receive(Ps::from_ns(10), &on_wire.encode())?;
+/// assert!(matches!(evs[0], DllEvent::Deliver(_)));
+/// assert!(matches!(evs[1], DllEvent::SendAck { seq: 0 }));
+/// tx.on_ack(0);
+/// assert_eq!(tx.outstanding(), 0);
+/// # Ok::<(), dl_protocol::ProtocolError>(())
+/// ```
+#[derive(Debug)]
+pub struct DllEndpoint {
+    // --- sender side ---
+    credits: CreditCounter,
+    next_seq: u32,
+    /// seq -> (packet, retransmit deadline)
+    unacked: BTreeMap<u32, (Packet, Ps)>,
+    /// Packets waiting for a credit.
+    backlog: VecDeque<Packet>,
+    retry_timeout: Ps,
+    retransmissions: u64,
+    // --- receiver side ---
+    /// Sequence numbers below this have all been delivered.
+    delivered_low: u32,
+    /// Delivered sequence numbers at or above `delivered_low` (compacted).
+    delivered_set: std::collections::BTreeSet<u32>,
+    duplicates: u64,
+    crc_errors: u64,
+}
+
+impl DllEndpoint {
+    /// Creates an endpoint with `credits` receive-buffer slots and the given
+    /// retransmission timeout.
+    pub fn new(credits: u32, retry_timeout: Ps) -> Self {
+        DllEndpoint {
+            credits: CreditCounter::new(credits),
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+            backlog: VecDeque::new(),
+            retry_timeout,
+            retransmissions: 0,
+            delivered_low: 0,
+            delivered_set: std::collections::BTreeSet::new(),
+            duplicates: 0,
+            crc_errors: 0,
+        }
+    }
+
+    /// Submits a packet for transmission. Returns the transmissions that may
+    /// go on the wire now (empty if the link is out of credits).
+    pub fn send(&mut self, now: Ps, packet: Packet) -> Vec<DllEvent> {
+        self.backlog.push_back(packet);
+        self.drain_backlog(now)
+    }
+
+    fn drain_backlog(&mut self, now: Ps) -> Vec<DllEvent> {
+        let mut out = Vec::new();
+        while !self.backlog.is_empty() && self.credits.try_consume() {
+            let mut pkt = self.backlog.pop_front().expect("non-empty backlog");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            pkt.dll_field = seq;
+            self.unacked.insert(seq, (pkt.clone(), now + self.retry_timeout));
+            out.push(DllEvent::Transmit(pkt));
+        }
+        out
+    }
+
+    /// Handles an ACK from the receiver: frees the window slot and the
+    /// credit. Unknown sequence numbers (late duplicate ACKs) are ignored.
+    ///
+    /// Returns whether a slot was freed; if so, call
+    /// [`release_after_ack`](DllEndpoint::release_after_ack) to transmit any
+    /// backlogged packets.
+    pub fn on_ack(&mut self, seq: u32) -> bool {
+        if self.unacked.remove(&seq).is_some() {
+            self.credits.refill(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases backlogged packets after ACK processing at time `now`.
+    pub fn release_after_ack(&mut self, now: Ps) -> Vec<DllEvent> {
+        self.drain_backlog(now)
+    }
+
+    /// Retransmits every unacknowledged packet whose timeout expired.
+    pub fn poll_timeouts(&mut self, now: Ps) -> Vec<DllEvent> {
+        let mut out = Vec::new();
+        for (_, (pkt, deadline)) in self.unacked.iter_mut() {
+            if *deadline <= now {
+                *deadline = now + self.retry_timeout;
+                self.retransmissions += 1;
+                out.push(DllEvent::Transmit(pkt.clone()));
+            }
+        }
+        out
+    }
+
+    /// The earliest retransmission deadline, if any packet is unacked.
+    pub fn next_timeout(&self) -> Option<Ps> {
+        self.unacked.values().map(|(_, d)| *d).min()
+    }
+
+    /// Receiver side: validates and delivers a flit stream.
+    ///
+    /// Returns `Deliver` + `SendAck` for a good packet, only `SendAck` for a
+    /// duplicate (so the sender stops retransmitting), and an error for a
+    /// CRC failure (the sender's timeout handles recovery — no NACK needed).
+    ///
+    /// # Errors
+    /// Propagates decode errors; CRC failures are also counted.
+    pub fn receive(&mut self, _now: Ps, flits: &[Flit]) -> Result<Vec<DllEvent>, ProtocolError> {
+        let pkt = match Packet::decode(flits) {
+            Ok(p) => p,
+            Err(e) => {
+                if matches!(e, ProtocolError::CrcMismatch { .. }) {
+                    self.crc_errors += 1;
+                }
+                return Err(e);
+            }
+        };
+        let seq = pkt.dll_field;
+        // Exactly-once delivery under arbitrary reordering: a sequence
+        // number is a duplicate iff it is below the compacted watermark or
+        // in the delivered set.
+        let is_dup = seq < self.delivered_low || self.delivered_set.contains(&seq);
+        if is_dup {
+            self.duplicates += 1;
+            Ok(vec![DllEvent::SendAck { seq }])
+        } else {
+            self.delivered_set.insert(seq);
+            while self.delivered_set.remove(&self.delivered_low) {
+                self.delivered_low += 1;
+            }
+            Ok(vec![DllEvent::Deliver(pkt), DllEvent::SendAck { seq }])
+        }
+    }
+
+    /// Unacknowledged packets currently held for retransmission.
+    pub fn outstanding(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Packets waiting for credits.
+    pub fn backlogged(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Total retransmissions performed.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Duplicate deliveries suppressed at the receiver.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// CRC failures observed at the receiver.
+    pub fn crc_errors(&self) -> u64 {
+        self.crc_errors
+    }
+
+    /// Credits currently available to the sender side.
+    pub fn credits_available(&self) -> u32 {
+        self.credits.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{DimmId, DlCommand, PacketHeader};
+
+    fn pkt(tag: u8) -> Packet {
+        Packet::without_payload(
+            PacketHeader::new(DimmId(0), DimmId(1), DlCommand::WriteReq, 0x40, tag).unwrap(),
+        )
+    }
+
+    #[test]
+    fn send_assigns_increasing_seqs() {
+        let mut tx = DllEndpoint::new(8, Ps::from_ns(100));
+        for i in 0..3 {
+            let evs = tx.send(Ps::ZERO, pkt(i));
+            let DllEvent::Transmit(p) = &evs[0] else { panic!() };
+            assert_eq!(p.dll_field, i as u32);
+        }
+        assert_eq!(tx.outstanding(), 3);
+    }
+
+    #[test]
+    fn credits_gate_transmission() {
+        let mut tx = DllEndpoint::new(2, Ps::from_ns(100));
+        assert_eq!(tx.send(Ps::ZERO, pkt(0)).len(), 1);
+        assert_eq!(tx.send(Ps::ZERO, pkt(1)).len(), 1);
+        // Third packet has no credit.
+        assert_eq!(tx.send(Ps::ZERO, pkt(2)).len(), 0);
+        assert_eq!(tx.backlogged(), 1);
+        // An ACK frees a credit; the backlog drains.
+        tx.on_ack(0);
+        let evs = tx.release_after_ack(Ps::from_ns(50));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(tx.backlogged(), 0);
+    }
+
+    #[test]
+    fn timeout_retransmits_until_acked() {
+        let mut tx = DllEndpoint::new(4, Ps::from_ns(100));
+        tx.send(Ps::ZERO, pkt(0));
+        assert!(tx.poll_timeouts(Ps::from_ns(50)).is_empty());
+        let r1 = tx.poll_timeouts(Ps::from_ns(100));
+        assert_eq!(r1.len(), 1);
+        let r2 = tx.poll_timeouts(Ps::from_ns(250));
+        assert_eq!(r2.len(), 1);
+        assert_eq!(tx.retransmissions(), 2);
+        tx.on_ack(0);
+        assert!(tx.poll_timeouts(Ps::from_ns(1000)).is_empty());
+        assert_eq!(tx.next_timeout(), None);
+    }
+
+    #[test]
+    fn receiver_acks_and_dedupes() {
+        let mut tx = DllEndpoint::new(4, Ps::from_ns(100));
+        let mut rx = DllEndpoint::new(4, Ps::from_ns(100));
+        let evs = tx.send(Ps::ZERO, pkt(9));
+        let DllEvent::Transmit(on_wire) = &evs[0] else { panic!() };
+        let flits = on_wire.encode();
+
+        let first = rx.receive(Ps::ZERO, &flits).unwrap();
+        assert!(matches!(&first[0], DllEvent::Deliver(p) if p.header.tag == 9));
+        assert!(matches!(first[1], DllEvent::SendAck { seq: 0 }));
+
+        // A retransmitted duplicate is acked but not re-delivered.
+        let dup = rx.receive(Ps::ZERO, &flits).unwrap();
+        assert_eq!(dup.len(), 1);
+        assert!(matches!(dup[0], DllEvent::SendAck { seq: 0 }));
+        assert_eq!(rx.duplicates(), 1);
+    }
+
+    #[test]
+    fn corrupted_packet_counts_crc_error_and_recovers_by_retry() {
+        let mut tx = DllEndpoint::new(4, Ps::from_ns(100));
+        let mut rx = DllEndpoint::new(4, Ps::from_ns(100));
+        let evs = tx.send(Ps::ZERO, pkt(1));
+        let DllEvent::Transmit(on_wire) = &evs[0] else { panic!() };
+        let mut flits = on_wire.encode();
+        flits[0][3] ^= 0xFF; // corrupt in flight
+        assert!(rx.receive(Ps::ZERO, &flits).is_err());
+        assert_eq!(rx.crc_errors(), 1);
+
+        // Sender times out and retransmits the clean copy.
+        let retry = tx.poll_timeouts(Ps::from_ns(100));
+        let DllEvent::Transmit(again) = &retry[0] else { panic!() };
+        let evs = rx.receive(Ps::from_ns(120), &again.encode()).unwrap();
+        assert!(matches!(&evs[0], DllEvent::Deliver(_)));
+    }
+
+    #[test]
+    fn ack_for_unknown_seq_is_ignored() {
+        let mut tx = DllEndpoint::new(4, Ps::from_ns(100));
+        tx.send(Ps::ZERO, pkt(0));
+        tx.on_ack(0);
+        assert_eq!(tx.credits_available(), 4);
+        // Duplicate ack must not over-refill credits.
+        tx.on_ack(0);
+        assert_eq!(tx.credits_available(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn credit_overflow_panics() {
+        let mut c = CreditCounter::new(1);
+        c.refill(1);
+    }
+}

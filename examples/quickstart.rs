@@ -1,0 +1,62 @@
+//! Quickstart: build a workload, run it on a DIMM-Link NMP system, and
+//! compare against the host-CPU baseline and the MCN (CPU-forwarding) IDC
+//! mechanism.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dimm_link::config::{IdcKind, SystemConfig};
+use dimm_link::runner::{host_baseline, simulate, simulate_optimized};
+use dl_workloads::{WorkloadKind, WorkloadParams};
+
+fn main() {
+    // A PageRank workload over 16 DIMMs (4 NMP cores each), R-MAT scale 11.
+    let params = WorkloadParams {
+        scale: 11,
+        ..WorkloadParams::small(16)
+    };
+    let workload = WorkloadKind::Pagerank.build(&params);
+    println!(
+        "workload: {} — {} threads, {} ops, {:.1}% remote accesses",
+        workload.name(),
+        workload.traces().len(),
+        workload.total_ops(),
+        workload.remote_fraction() * 100.0
+    );
+
+    // The fixed 16-core host CPU of the paper's Fig. 10.
+    let host = host_baseline(WorkloadKind::Pagerank, params.scale, params.seed);
+    println!("\n16-core host CPU        : {}", host.elapsed);
+
+    // The same work on the NMP system under three IDC mechanisms.
+    let base = SystemConfig::nmp(16, 8);
+    for idc in [IdcKind::CpuForwarding, IdcKind::DedicatedBus, IdcKind::DimmLink] {
+        let r = simulate(&workload, &base.clone().with_idc(idc));
+        println!(
+            "NMP + {:<18}: {} ({:.2}x vs host, {:.0}% cycles stalled on IDC)",
+            idc.to_string(),
+            r.elapsed,
+            host.elapsed.as_ps() as f64 / r.elapsed.as_ps() as f64,
+            r.idc_stall_frac() * 100.0
+        );
+    }
+
+    // DIMM-Link with Algorithm 1's distance-aware task mapping.
+    let opt = simulate_optimized(&workload, &base.with_idc(IdcKind::DimmLink));
+    println!(
+        "NMP + DIMM-Link-opt     : {} ({:.2}x vs host; profiling cost {})",
+        opt.elapsed,
+        host.elapsed.as_ps() as f64 / opt.elapsed.as_ps() as f64,
+        opt.profiling
+    );
+
+    let (local, link, fwd, _) = opt.traffic_breakdown();
+    println!(
+        "\ntraffic breakdown (DL-opt): {:.0}% local DRAM, {:.0}% DIMM-Link, {:.0}% CPU-forwarded",
+        local * 100.0,
+        link * 100.0,
+        fwd * 100.0
+    );
+    println!("energy: {:.3} mJ total", opt.energy.total() * 1e3);
+}

@@ -1,0 +1,59 @@
+//! Topology and bandwidth exploration (paper Fig. 16/17 and Section VI):
+//! what would DIMM-Link gain from ring/mesh/torus bridges or faster SerDes?
+//!
+//! ```text
+//! cargo run --release --example topology_explorer
+//! ```
+
+use dimm_link::config::{IdcKind, SystemConfig};
+use dimm_link::runner::simulate;
+use dl_noc::{Topology, TopologyKind};
+use dl_workloads::{WorkloadKind, WorkloadParams};
+
+fn main() {
+    let scale = 11;
+    let params = WorkloadParams { scale, ..WorkloadParams::small(16) };
+    let wl = WorkloadKind::Pagerank.build(&params);
+
+    println!("DL-group topology exploration (PR, 16D-8C)\n");
+    println!("{:>8} {:>10} {:>12} {:>10}", "topology", "diameter", "links/group", "speedup");
+    let mut base = 0.0;
+    for kind in [
+        TopologyKind::Chain,
+        TopologyKind::Ring,
+        TopologyKind::Mesh,
+        TopologyKind::Torus,
+    ] {
+        let topo = Topology::new(kind, 8); // one group of 8 DIMMs
+        let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+        cfg.topology = kind;
+        let t = simulate(&wl, &cfg).elapsed.as_ps() as f64;
+        if base == 0.0 {
+            base = t;
+        }
+        println!(
+            "{:>8} {:>10} {:>12} {:>9.2}x",
+            kind.to_string(),
+            topo.diameter(),
+            topo.link_count(),
+            base / t
+        );
+    }
+
+    println!("\nLink-bandwidth sweep on the chain (paper Fig. 16):");
+    println!("{:>10} {:>10}", "bandwidth", "speedup");
+    let mut base = 0.0;
+    for gb in [4u64, 8, 16, 25, 32, 64] {
+        let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+        cfg.link = cfg.link.with_bandwidth(gb * 1_000_000_000);
+        let t = simulate(&wl, &cfg).elapsed.as_ps() as f64;
+        if base == 0.0 {
+            base = t;
+        }
+        println!("{:>7} GB/s {:>9.2}x", gb, base / t);
+    }
+    println!(
+        "\nThe paper ships the chain: richer topologies help (lower diameter) \
+         but need long-reach SerDes or multi-port bridges (Section VI)."
+    );
+}

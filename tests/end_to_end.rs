@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: full-system runs over every workload and
+//! IDC mechanism, checking structural invariants and determinism.
+
+use dimm_link::config::{IdcKind, SystemConfig};
+use dimm_link::runner::{host_baseline, simulate, simulate_optimized};
+use dl_engine::Ps;
+use dl_workloads::{WorkloadKind, WorkloadParams};
+
+const ALL_IDC: [IdcKind; 4] = [
+    IdcKind::CpuForwarding,
+    IdcKind::DedicatedBus,
+    IdcKind::AbcDimm,
+    IdcKind::DimmLink,
+];
+
+fn small_params(dimms: usize) -> WorkloadParams {
+    WorkloadParams {
+        scale: 8,
+        ..WorkloadParams::small(dimms)
+    }
+}
+
+#[test]
+fn every_workload_runs_on_every_mechanism() {
+    let params = small_params(8);
+    for kind in WorkloadKind::P2P_SET {
+        let wl = kind.build(&params);
+        for idc in ALL_IDC {
+            let cfg = SystemConfig::nmp(8, 4).with_idc(idc);
+            let r = simulate(&wl, &cfg);
+            assert!(r.elapsed > Ps::ZERO, "{kind}/{idc}");
+            assert!(r.energy.total() > 0.0, "{kind}/{idc}");
+            // Stall fractions are fractions.
+            for key in ["idc_stall_frac", "mem_stall_frac", "sync_stall_frac"] {
+                let v = r.stats.get(key).unwrap();
+                assert!((0.0..=1.0).contains(&v), "{kind}/{idc}: {key}={v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn simulations_are_deterministic() {
+    let params = small_params(8);
+    let wl = WorkloadKind::Sssp.build(&params);
+    let cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
+    let a = simulate(&wl, &cfg);
+    let b = simulate(&wl, &cfg);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.stats.get("remote_reads"), b.stats.get("remote_reads"));
+    assert_eq!(a.stats.get("dram.activates"), b.stats.get("dram.activates"));
+}
+
+#[test]
+fn traffic_conservation_remote_ops_mean_remote_bytes() {
+    let params = small_params(8);
+    let wl = WorkloadKind::Pagerank.build(&params);
+    for idc in ALL_IDC {
+        let cfg = SystemConfig::nmp(8, 4).with_idc(idc);
+        let r = simulate(&wl, &cfg);
+        let remote = r.stats.get("remote_reads").unwrap() + r.stats.get("remote_writes").unwrap();
+        let idc_bytes = r.stats.get("traffic.link_bytes").unwrap()
+            + r.stats.get("traffic.fwd_bytes").unwrap()
+            + r.stats.get("traffic.bus_bytes").unwrap();
+        if remote > 0.0 {
+            // Every remote operation puts at least one flit on some medium.
+            assert!(idc_bytes >= remote * 16.0, "{idc}: {idc_bytes} bytes for {remote} ops");
+        }
+    }
+}
+
+#[test]
+fn mechanisms_route_on_their_own_media() {
+    let params = small_params(8);
+    let wl = WorkloadKind::Sssp.build(&params);
+    // MCN: everything host-forwarded, nothing on links or bus.
+    let mcn = simulate(&wl, &SystemConfig::nmp(8, 4).with_idc(IdcKind::CpuForwarding));
+    assert_eq!(mcn.stats.get("traffic.link_bytes"), Some(0.0));
+    assert_eq!(mcn.stats.get("traffic.bus_bytes"), Some(0.0));
+    assert!(mcn.stats.get("traffic.fwd_bytes").unwrap() > 0.0);
+    // AIM: everything on the bus, no host forwarding.
+    let aim = simulate(&wl, &SystemConfig::nmp(8, 4).with_idc(IdcKind::DedicatedBus));
+    assert_eq!(aim.stats.get("traffic.fwd_bytes"), Some(0.0));
+    assert!(aim.stats.get("traffic.bus_bytes").unwrap() > 0.0);
+    assert_eq!(aim.stats.get("host.fwd_packets"), Some(0.0));
+    // DIMM-Link at two groups: links carry intra-group, host carries
+    // inter-group.
+    let dl = simulate(&wl, &SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink));
+    assert!(dl.stats.get("traffic.link_bytes").unwrap() > 0.0);
+    assert!(dl.stats.get("traffic.fwd_bytes").unwrap() > 0.0);
+    assert_eq!(dl.stats.get("traffic.bus_bytes"), Some(0.0));
+}
+
+#[test]
+fn single_group_dimm_link_never_touches_the_host() {
+    let params = small_params(4);
+    let wl = WorkloadKind::Pagerank.build(&params);
+    let cfg = SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink); // one group
+    let r = simulate(&wl, &cfg);
+    assert_eq!(r.stats.get("host.fwd_packets"), Some(0.0));
+    assert_eq!(r.stats.get("traffic.fwd_bytes"), Some(0.0));
+}
+
+#[test]
+fn optimized_placement_never_deadlocks_and_profiles() {
+    let params = small_params(8);
+    for kind in [WorkloadKind::Bfs, WorkloadKind::KMeans, WorkloadKind::Hotspot] {
+        let wl = kind.build(&params);
+        let cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
+        let r = simulate_optimized(&wl, &cfg);
+        assert!(r.profiling > Ps::ZERO, "{kind}");
+        assert!(r.elapsed > r.profiling, "{kind}");
+    }
+}
+
+#[test]
+fn host_baseline_is_workload_sensitive_and_deterministic() {
+    let a = host_baseline(WorkloadKind::Pagerank, 8, 42);
+    let b = host_baseline(WorkloadKind::Pagerank, 8, 42);
+    assert_eq!(a.elapsed, b.elapsed);
+    let c = host_baseline(WorkloadKind::Bfs, 8, 42);
+    assert_ne!(a.elapsed, c.elapsed);
+}
+
+#[test]
+fn broadcast_workloads_run_end_to_end_on_all_mechanisms() {
+    let params = WorkloadParams {
+        scale: 8,
+        broadcast: true,
+        ..WorkloadParams::small(8)
+    };
+    for kind in WorkloadKind::BROADCAST_SET {
+        let wl = kind.build(&params);
+        for idc in ALL_IDC {
+            let cfg = SystemConfig::nmp(8, 4).with_idc(idc);
+            let r = simulate(&wl, &cfg);
+            assert!(r.elapsed > Ps::ZERO, "{kind}-BC/{idc}");
+        }
+    }
+}
+
+#[test]
+fn bigger_systems_do_not_slow_down_scalable_mechanisms() {
+    // DIMM-Link end-to-end time should not grow when going 4 -> 16 DIMMs
+    // on an embarrassingly parallel workload of fixed total size (large
+    // enough that per-thread fixed costs amortize).
+    let kind = WorkloadKind::KMeans;
+    let params = |dimms| WorkloadParams { scale: 11, ..WorkloadParams::small(dimms) };
+    let t4 = {
+        let wl = kind.build(&params(4));
+        simulate(&wl, &SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink)).elapsed
+    };
+    let t16 = {
+        let wl = kind.build(&params(16));
+        simulate(&wl, &SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink)).elapsed
+    };
+    assert!(
+        t16 < t4,
+        "16 DIMMs ({t16}) should beat 4 DIMMs ({t4}) on fixed total work"
+    );
+}

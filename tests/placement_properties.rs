@@ -1,0 +1,83 @@
+//! Property-based tests of Algorithm 1's min-cost max-flow thread placement.
+
+use dl_placement::{place_threads, place_threads_brute_force, AccessProfile, MinCostFlow};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The flow solver matches an exhaustive search on small instances.
+    #[test]
+    fn placement_is_optimal(
+        threads in 1usize..6,
+        dimms in 2usize..5,
+        cap in 1usize..3,
+        counts in prop::collection::vec(0u64..1000, 30),
+    ) {
+        prop_assume!(threads <= dimms * cap);
+        let mut m = AccessProfile::new(threads, dimms);
+        let mut it = counts.into_iter().cycle();
+        for t in 0..threads {
+            for d in 0..dimms {
+                m.record(t, d, it.next().unwrap());
+            }
+        }
+        let dist: Vec<Vec<u64>> = (0..dimms)
+            .map(|j| (0..dimms).map(|k| j.abs_diff(k) as u64).collect())
+            .collect();
+        let fast = place_threads(&m, &dist, cap).unwrap();
+        let slow = place_threads_brute_force(&m, &dist, cap).unwrap();
+        prop_assert_eq!(fast.total_cost(), slow.total_cost());
+    }
+
+    /// Capacity constraints always hold and every thread is placed.
+    #[test]
+    fn placement_respects_capacity(
+        threads in 1usize..20,
+        dimms in 1usize..8,
+        cap in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(threads <= dimms * cap);
+        let mut rng = dl_engine::DetRng::seed(seed);
+        let mut m = AccessProfile::new(threads, dimms);
+        for t in 0..threads {
+            for d in 0..dimms {
+                m.record(t, d, rng.below(10_000));
+            }
+        }
+        let dist: Vec<Vec<u64>> = (0..dimms)
+            .map(|j| (0..dimms).map(|k| j.abs_diff(k) as u64).collect())
+            .collect();
+        let p = place_threads(&m, &dist, cap).unwrap();
+        prop_assert_eq!(p.assignment().len(), threads);
+        for d in 0..dimms {
+            prop_assert!(p.threads_on(d).len() <= cap, "DIMM {d} over capacity");
+        }
+        // The reported cost matches the assignment.
+        let c = m.cost_table(&dist);
+        let manual: u64 = p.assignment().iter().enumerate().map(|(t, &d)| c[t][d]).sum();
+        prop_assert_eq!(manual, p.total_cost());
+    }
+
+    /// Max-flow never exceeds cut capacities on random bipartite instances.
+    #[test]
+    fn mcmf_flow_conservation(
+        caps in prop::collection::vec(1i64..10, 2..6),
+        costs in prop::collection::vec(0i64..100, 2..6),
+    ) {
+        let n = caps.len().min(costs.len());
+        // source(0) -> middle(1..=n) -> sink(n+1)
+        let mut g = MinCostFlow::new(n + 2);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            g.add_edge(0, 1 + i, caps[i], 0);
+            edges.push(g.add_edge(1 + i, n + 1, caps[i], costs[i]));
+        }
+        let (flow, cost) = g.solve(0, n + 1);
+        let total_cap: i64 = caps[..n].iter().sum();
+        prop_assert_eq!(flow, total_cap);
+        let manual: i64 = (0..n).map(|i| g.flow_on(edges[i]) * costs[i]).sum();
+        prop_assert_eq!(cost, manual);
+    }
+}
