@@ -38,7 +38,11 @@ fn fig10_cell(c: &mut Criterion) {
     let wl = WorkloadKind::Pagerank.build(&params(8));
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
-    for idc in [IdcKind::CpuForwarding, IdcKind::DedicatedBus, IdcKind::DimmLink] {
+    for idc in [
+        IdcKind::CpuForwarding,
+        IdcKind::DedicatedBus,
+        IdcKind::DimmLink,
+    ] {
         let cfg = SystemConfig::nmp(8, 4).with_idc(idc);
         g.bench_function(format!("pr_8d4c_{idc}"), |b| {
             b.iter(|| black_box(simulate(&wl, &cfg).elapsed))

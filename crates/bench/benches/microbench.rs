@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dl_engine::{DetRng, Ps};
-use dl_mem::{AccessKind, Cache, CacheConfig, DimmAddressMap, DramConfig, MemController, MemRequest};
+use dl_mem::{
+    AccessKind, Cache, CacheConfig, DimmAddressMap, DramConfig, MemController, MemRequest,
+};
 use dl_noc::{FlitNet, FlitNetConfig, LinkParams, PacketNet, Topology, TopologyKind};
 use dl_placement::{place_threads, AccessProfile};
 use dl_protocol::{crc32, DimmId, DlCommand, Packet, PacketHeader};
@@ -17,7 +19,10 @@ fn bench_dram(c: &mut Criterion) {
         b.iter(|| {
             let mut mc = MemController::new("b", &cfg);
             for i in 0..512u64 {
-                mc.enqueue(Ps::ZERO, MemRequest::new(i, AccessKind::Read, map.decode(i * 64)));
+                mc.enqueue(
+                    Ps::ZERO,
+                    MemRequest::new(i, AccessKind::Read, map.decode(i * 64)),
+                );
             }
             let mut done = mc.service(Ps::ZERO).len();
             while done < 512 {
@@ -32,8 +37,15 @@ fn bench_dram(c: &mut Criterion) {
             let mut rng = DetRng::seed(1);
             let mut mc = MemController::new("b", &cfg);
             for i in 0..512u64 {
-                let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
-                mc.enqueue(Ps::ZERO, MemRequest::new(i, kind, map.decode(rng.below(1 << 26) * 64)));
+                let kind = if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                mc.enqueue(
+                    Ps::ZERO,
+                    MemRequest::new(i, kind, map.decode(rng.below(1 << 26) * 64)),
+                );
             }
             let mut done = mc.service(Ps::ZERO).len();
             while done < 512 {
@@ -81,8 +93,7 @@ fn bench_noc(c: &mut Criterion) {
 }
 
 fn bench_protocol(c: &mut Criterion) {
-    let header =
-        PacketHeader::new(DimmId(1), DimmId(2), DlCommand::WriteReq, 0x1234, 7).unwrap();
+    let header = PacketHeader::new(DimmId(1), DimmId(2), DlCommand::WriteReq, 0x1234, 7).unwrap();
     let pkt = Packet::with_payload(header, vec![0xAB; 256]).unwrap();
     let flits = pkt.encode();
     let mut g = c.benchmark_group("protocol");
@@ -120,7 +131,10 @@ fn bench_cache(c: &mut Criterion) {
             let mut cache = Cache::new(CacheConfig::l1_32k());
             let mut hits = 0u32;
             for i in 0..10_000u64 {
-                if matches!(cache.access((i * 64) % (64 * 1024), i % 4 == 0), dl_mem::CacheOutcome::Hit) {
+                if matches!(
+                    cache.access((i * 64) % (64 * 1024), i % 4 == 0),
+                    dl_mem::CacheOutcome::Hit
+                ) {
                     hits += 1;
                 }
             }
@@ -129,5 +143,12 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dram, bench_noc, bench_protocol, bench_placement, bench_cache);
+criterion_group!(
+    benches,
+    bench_dram,
+    bench_noc,
+    bench_protocol,
+    bench_placement,
+    bench_cache
+);
 criterion_main!(benches);

@@ -5,7 +5,11 @@
 //! (`FlitNet`) on the paper's chain topology, BookSim-style: same traffic
 //! in, latencies compared.
 
-use dl_bench::{print_table, save_json, Args};
+use dimm_link::runner::RunResult;
+use dimm_link::EnergyBreakdown;
+use dl_bench::sweep::Sweep;
+use dl_bench::{print_table, run_sweep, save_json, Args};
+use dl_engine::stats::StatSet;
 use dl_engine::Ps;
 use dl_noc::{FlitNet, FlitNetConfig, LinkParams, PacketNet, Topology, TopologyKind};
 use serde::Serialize;
@@ -18,50 +22,82 @@ struct Row {
     ratio: f64,
 }
 
-/// Runs `pairs` through both models; returns (packet-level makespan,
-/// flit-level makespan) in ns.
-fn compare(topo: &Topology, pairs: &[(usize, usize)], packet_flits: u32) -> (f64, f64) {
-    let mut pnet = PacketNet::new(topo, LinkParams::grs_25gbps());
+const PACKET_FLITS: u32 = 17; // max-size packets
+
+fn wrap(makespan: Ps) -> RunResult {
+    RunResult {
+        elapsed: makespan,
+        profiling: Ps::ZERO,
+        stats: StatSet::new(),
+        energy: EnergyBreakdown::default(),
+    }
+}
+
+fn packet_makespan(pairs: &[(usize, usize)]) -> Ps {
+    let topo = Topology::new(TopologyKind::Chain, 8);
+    let mut pnet = PacketNet::new(&topo, LinkParams::grs_25gbps());
     let mut last = Ps::ZERO;
     for &(s, d) in pairs {
-        last = last.max(pnet.send(Ps::ZERO, s, d, packet_flits as u64 * 16));
+        last = last.max(pnet.send(Ps::ZERO, s, d, PACKET_FLITS as u64 * 16));
     }
-    let packet_ns = last.as_ns_f64();
+    last
+}
 
-    let mut fnet = FlitNet::new(topo, FlitNetConfig::grs_25gbps());
+fn flit_makespan(pairs: &[(usize, usize)]) -> Ps {
+    let topo = Topology::new(TopologyKind::Chain, 8);
+    let mut fnet = FlitNet::new(&topo, FlitNetConfig::grs_25gbps());
     for (i, &(s, d)) in pairs.iter().enumerate() {
-        fnet.inject(i as u64, s, d, packet_flits);
+        fnet.inject(i as u64, s, d, PACKET_FLITS);
     }
     let deliveries = fnet.run_until_idle(10_000_000);
     let cycles = deliveries.iter().map(|d| d.cycle).max().unwrap_or(0);
-    let flit_ns = fnet.time_of(cycles).as_ns_f64();
-    (packet_ns, flit_ns)
+    fnet.time_of(cycles)
 }
 
 fn main() {
-    let _args = Args::parse();
+    let args = Args::parse();
     println!("Ablation: packet-level vs flit-level network model (chain of 8)");
-    let topo = Topology::new(TopologyKind::Chain, 8);
 
     let patterns: Vec<(&str, Vec<(usize, usize)>)> = vec![
         ("single 1-hop", vec![(0, 1)]),
         ("single 7-hop", vec![(0, 7)]),
         ("4 disjoint pairs", vec![(0, 1), (2, 3), (4, 5), (6, 7)]),
-        ("hot link (4 -> middle)", vec![(0, 4), (1, 4), (2, 4), (3, 4)]),
         (
-            "all-to-one",
-            (0..7).map(|s| (s, 7)).collect(),
+            "hot link (4 -> middle)",
+            vec![(0, 4), (1, 4), (2, 4), (3, 4)],
         ),
+        ("all-to-one", (0..7).map(|s| (s, 7)).collect()),
         (
             "uniform 28 pairs",
-            (0..8).flat_map(|s| (0..8).filter(move |&d| d != s).map(move |d| (s, d))).take(28).collect(),
+            (0..8)
+                .flat_map(|s| (0..8).filter(move |&d| d != s).map(move |d| (s, d)))
+                .take(28)
+                .collect(),
         ),
     ];
 
+    // Two points per pattern: the fast packet-level model and the
+    // cycle-accurate flit-level cross-check.
+    let mut sweep = Sweep::new("ablation_fidelity");
+    for (name, pairs) in &patterns {
+        let p = pairs.clone();
+        sweep.custom(
+            format!("{name} / packet"),
+            "chain-8 packet-level",
+            move || wrap(packet_makespan(&p)),
+        );
+        let p = pairs.clone();
+        sweep.custom(format!("{name} / flit"), "chain-8 flit-level", move || {
+            wrap(flit_makespan(&p))
+        });
+    }
+    let result = run_sweep(sweep, &args);
+
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    for (name, pairs) in patterns {
-        let (p, f) = compare(&topo, &pairs, 17); // max-size packets
+    for (i, (name, _)) in patterns.iter().enumerate() {
+        let p = result.records[2 * i].elapsed().as_ns_f64();
+        let f = result.records[2 * i + 1].elapsed().as_ns_f64();
         let ratio = p / f.max(1e-9);
         rows.push(vec![
             name.to_string(),

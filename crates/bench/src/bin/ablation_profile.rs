@@ -6,8 +6,8 @@
 //! to the end-to-end result).
 
 use dimm_link::config::{IdcKind, SystemConfig};
-use dimm_link::runner::{simulate, simulate_optimized};
-use dl_bench::{fmt_pct, fmt_x, print_table, save_json, Args};
+use dl_bench::sweep::Sweep;
+use dl_bench::{fmt_pct, fmt_x, print_table, run_sweep, save_json, Args};
 use dl_workloads::{WorkloadKind, WorkloadParams};
 use serde::Serialize;
 
@@ -20,26 +20,46 @@ struct Row {
 
 fn main() {
     let args = Args::parse();
-    println!("Ablation: Algorithm 1 profiling fraction (PR, 16D-8C, scale {})", args.scale);
+    println!(
+        "Ablation: Algorithm 1 profiling fraction (PR, 16D-8C, scale {})",
+        args.scale
+    );
     let params = WorkloadParams {
         scale: args.scale,
         seed: args.seed,
         ..WorkloadParams::small(16)
     };
-    let wl = WorkloadKind::Pagerank.build(&params);
     let base_cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
-    let base = simulate(&wl, &base_cfg).elapsed.as_ps() as f64;
+    let fractions = [0.001, 0.005, 0.01, 0.05, 0.10];
 
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for &frac in &[0.001, 0.005, 0.01, 0.05, 0.10] {
+    let mut sweep = Sweep::new("ablation_profile");
+    sweep.simulate(
+        "pr / DL-base",
+        WorkloadKind::Pagerank,
+        params,
+        base_cfg.clone(),
+    );
+    for &frac in &fractions {
         let mut cfg = base_cfg.clone();
         cfg.profile_fraction = frac;
-        let r = simulate_optimized(&wl, &cfg);
-        let share = r.profiling.as_ps() as f64 / r.elapsed.as_ps() as f64;
-        let speedup = base / r.elapsed.as_ps() as f64;
+        sweep.simulate_optimized(
+            format!("pr / DL-opt frac={frac}"),
+            WorkloadKind::Pagerank,
+            params,
+            cfg,
+        );
+    }
+    let out = run_sweep(sweep, &args);
+    let base = out.records[0].elapsed_f64();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (i, &frac) in fractions.iter().enumerate() {
+        let r = &out.records[1 + i];
+        let share = r.profiling_ps as f64 / r.elapsed_f64();
+        let speedup = base / r.elapsed_f64();
         rows.push(vec![fmt_pct(frac), fmt_x(speedup), fmt_pct(share)]);
-        out.push(Row {
+        json.push(Row {
             fraction: frac,
             speedup_vs_base: speedup,
             profiling_share: share,
@@ -47,7 +67,11 @@ fn main() {
     }
     print_table(
         "DL-opt vs DL-base (natural placement) as the profiled fraction grows",
-        &["profiled fraction", "speedup vs DL-base", "time in profiling"],
+        &[
+            "profiled fraction",
+            "speedup vs DL-base",
+            "time in profiling",
+        ],
         &rows,
     );
     println!(
@@ -56,5 +80,5 @@ fn main() {
          placement from a random start at small profiling cost (the paper's \
          baseline mapping is less affine, giving it the extra 1.12x headroom)."
     );
-    save_json("ablation_profile", &out);
+    save_json("ablation_profile", &json);
 }

@@ -8,8 +8,8 @@
 //! 2 blades × 8 DIMMs and 4 blades × 8 DIMMs, plus a fabric-latency sweep.
 
 use dimm_link::config::{IdcKind, SystemConfig};
-use dimm_link::runner::simulate;
-use dl_bench::{fmt_x, geo, print_table, save_json, Args};
+use dl_bench::sweep::Sweep;
+use dl_bench::{fmt_time, fmt_x, geo, print_table, run_sweep, save_json, Args};
 use dl_engine::Ps;
 use dl_workloads::{WorkloadKind, WorkloadParams};
 use serde::Serialize;
@@ -20,6 +20,12 @@ struct Row {
     workload: String,
     cxl_over_host: f64,
 }
+
+const WORKLOADS: [WorkloadKind; 3] = [
+    WorkloadKind::Pagerank,
+    WorkloadKind::Sssp,
+    WorkloadKind::Bfs,
+];
 
 fn blades(dimms: usize, channels: usize, groups: usize, idc: IdcKind) -> SystemConfig {
     let mut cfg = SystemConfig::nmp(dimms, channels).with_idc(idc);
@@ -34,27 +40,78 @@ fn main() {
         args.scale
     );
 
-    let mut out = Vec::new();
-    for (name, dimms, channels, groups) in
-        [("2 blades x 8", 16usize, 8usize, 2usize), ("4 blades x 8", 32, 16, 4)]
-    {
-        let mut rows = Vec::new();
-        let mut speedups = Vec::new();
-        for kind in [WorkloadKind::Pagerank, WorkloadKind::Sssp, WorkloadKind::Bfs] {
+    let blade_cfgs = [
+        ("2 blades x 8", 16usize, 8usize, 2usize),
+        ("4 blades x 8", 32, 16, 4),
+    ];
+    let fabric_lats = [100u64, 250, 500, 1000, 2000];
+
+    let mut sweep = Sweep::new("ext_disaggregated");
+    for (name, dimms, channels, groups) in blade_cfgs {
+        for kind in WORKLOADS {
             let params = WorkloadParams {
                 scale: args.scale,
                 seed: args.seed,
                 ..WorkloadParams::small(dimms)
             };
-            let wl = kind.build(&params);
-            let host_org = simulate(&wl, &blades(dimms, channels, groups, IdcKind::DimmLink));
-            let cxl_org = simulate(&wl, &blades(dimms, channels, groups, IdcKind::DimmLinkCxl));
-            let s = host_org.elapsed.as_ps() as f64 / cxl_org.elapsed.as_ps() as f64;
+            sweep.simulate(
+                format!("{name} / {kind} / host-org"),
+                kind,
+                params,
+                blades(dimms, channels, groups, IdcKind::DimmLink),
+            );
+            sweep.simulate(
+                format!("{name} / {kind} / cxl-org"),
+                kind,
+                params,
+                blades(dimms, channels, groups, IdcKind::DimmLinkCxl),
+            );
+        }
+    }
+
+    // Fabric-latency sensitivity: when does disaggregation stop paying off?
+    let lat_base = sweep.len();
+    {
+        let params = WorkloadParams {
+            scale: args.scale,
+            seed: args.seed,
+            ..WorkloadParams::small(16)
+        };
+        sweep.simulate(
+            "fabric-sweep / pr / host-org",
+            WorkloadKind::Pagerank,
+            params,
+            blades(16, 8, 2, IdcKind::DimmLink),
+        );
+        for lat_ns in fabric_lats {
+            let mut cfg = blades(16, 8, 2, IdcKind::DimmLinkCxl);
+            cfg.cxl_latency = Ps::from_ns(lat_ns);
+            sweep.simulate(
+                format!("fabric-sweep / pr / cxl {lat_ns} ns"),
+                WorkloadKind::Pagerank,
+                params,
+                cfg,
+            );
+        }
+    }
+
+    let result = run_sweep(sweep, &args);
+
+    let mut out = Vec::new();
+    let mut idx = 0;
+    for (name, _, _, _) in blade_cfgs {
+        let mut rows = Vec::new();
+        let mut speedups = Vec::new();
+        for kind in WORKLOADS {
+            let host_org = &result.records[idx];
+            let cxl_org = &result.records[idx + 1];
+            idx += 2;
+            let s = host_org.elapsed_f64() / cxl_org.elapsed_f64();
             speedups.push(s);
             rows.push(vec![
                 kind.to_string(),
-                host_org.elapsed.to_string(),
-                cxl_org.elapsed.to_string(),
+                fmt_time(host_org.elapsed()),
+                fmt_time(cxl_org.elapsed()),
                 fmt_x(s),
             ]);
             out.push(Row {
@@ -63,7 +120,12 @@ fn main() {
                 cxl_over_host: s,
             });
         }
-        rows.push(vec!["geomean".into(), String::new(), String::new(), fmt_x(geo(&speedups))]);
+        rows.push(vec![
+            "geomean".into(),
+            String::new(),
+            String::new(),
+            fmt_x(geo(&speedups)),
+        ]);
         print_table(
             &format!("{name}: in-server (host-forwarded inter-group) vs disaggregated (CXL)"),
             &["workload", "host org", "CXL org", "CXL speedup"],
@@ -71,22 +133,13 @@ fn main() {
         );
     }
 
-    // Fabric-latency sensitivity: when does disaggregation stop paying off?
+    let host_org = result.records[lat_base].elapsed_f64();
     let mut rows = Vec::new();
-    let params = WorkloadParams {
-        scale: args.scale,
-        seed: args.seed,
-        ..WorkloadParams::small(16)
-    };
-    let wl = WorkloadKind::Pagerank.build(&params);
-    let host_org = simulate(&wl, &blades(16, 8, 2, IdcKind::DimmLink));
-    for lat_ns in [100u64, 250, 500, 1000, 2000] {
-        let mut cfg = blades(16, 8, 2, IdcKind::DimmLinkCxl);
-        cfg.cxl_latency = Ps::from_ns(lat_ns);
-        let r = simulate(&wl, &cfg);
+    for (i, lat_ns) in fabric_lats.iter().enumerate() {
+        let r = &result.records[lat_base + 1 + i];
         rows.push(vec![
             format!("{lat_ns} ns"),
-            fmt_x(host_org.elapsed.as_ps() as f64 / r.elapsed.as_ps() as f64),
+            fmt_x(host_org / r.elapsed_f64()),
         ]);
     }
     print_table(

@@ -10,8 +10,8 @@
 //! MCN; 1.87x over AIM; 1.12x over DIMM-Link-base.
 
 use dimm_link::config::{IdcKind, PlacementPolicy, SystemConfig};
-use dimm_link::runner::{host_baseline, simulate, simulate_optimized};
-use dl_bench::{fmt_pct, fmt_x, geo, print_table, save_json, Args};
+use dl_bench::sweep::Sweep;
+use dl_bench::{fmt_pct, fmt_x, geo, print_table, run_sweep, save_json, Args};
 use dl_workloads::{WorkloadKind, WorkloadParams};
 use serde::Serialize;
 
@@ -25,72 +25,119 @@ struct Cell {
     elapsed_ns: f64,
 }
 
+const SYSTEMS: [&str; 5] = ["MCN", "AIM", "DL-rand", "DL-base", "DL-opt"];
+
 fn main() {
     let args = Args::parse();
-    println!("Figure 10: P2P speedup over the 16-core host CPU (scale {})", args.scale);
+    println!(
+        "Figure 10: P2P speedup over the 16-core host CPU (scale {})",
+        args.scale
+    );
 
-    // Host baselines are independent of the NMP configuration.
-    let hosts: Vec<(WorkloadKind, f64)> = WorkloadKind::P2P_SET
+    // Submit every point up front: host baselines (independent of the NMP
+    // configuration), then all (config x workload x system) runs.
+    let mut sweep = Sweep::new("fig10_p2p");
+    let hosts: Vec<(WorkloadKind, usize)> = WorkloadKind::P2P_SET
         .iter()
         .map(|&k| {
-            let h = host_baseline(k, args.scale, args.seed);
-            (k, h.elapsed.as_ps() as f64)
+            (
+                k,
+                sweep.host(format!("host / {k}"), k, args.scale, args.seed),
+            )
         })
         .collect();
 
-    let mut cells: Vec<Cell> = Vec::new();
-    for (cfg_name, base_cfg) in SystemConfig::p2p_sweep() {
-        let mut rows = Vec::new();
-        let mut per_system: Vec<(String, Vec<f64>)> = Vec::new();
-        for sys_name in ["MCN", "AIM", "DL-rand", "DL-base", "DL-opt"] {
-            per_system.push((sys_name.to_string(), Vec::new()));
-        }
-        for &(kind, host_ps) in &hosts {
+    let configs = SystemConfig::p2p_sweep();
+    // (config name, workload, host index, per-system record indices)
+    let mut groups: Vec<(&str, WorkloadKind, usize, [usize; 5])> = Vec::new();
+    for (cfg_name, base_cfg) in &configs {
+        for &(kind, host_idx) in &hosts {
             let params = WorkloadParams {
                 dimms: base_cfg.dimms,
                 scale: args.scale,
                 seed: args.seed,
                 ..WorkloadParams::small(base_cfg.dimms)
             };
-            let wl = kind.build(&params);
-            let mut row = vec![kind.to_string()];
             // DL-rand: an affinity-oblivious runtime mapping — the situation
             // Algorithm 1 rescues (it profiles from exactly this start).
             let mut rand_cfg = base_cfg.clone().with_idc(IdcKind::DimmLink);
             rand_cfg.placement = PlacementPolicy::Random;
-            let runs = [
-                ("MCN", simulate(&wl, &base_cfg.clone().with_idc(IdcKind::CpuForwarding))),
-                ("AIM", simulate(&wl, &base_cfg.clone().with_idc(IdcKind::DedicatedBus))),
-                ("DL-rand", simulate(&wl, &rand_cfg)),
-                ("DL-base", simulate(&wl, &base_cfg.clone().with_idc(IdcKind::DimmLink))),
-                ("DL-opt", simulate_optimized(&wl, &base_cfg.clone().with_idc(IdcKind::DimmLink))),
+            let label = |sys: &str| format!("{cfg_name} / {kind} / {sys}");
+            let idx = [
+                sweep.simulate(
+                    label("MCN"),
+                    kind,
+                    params,
+                    base_cfg.clone().with_idc(IdcKind::CpuForwarding),
+                ),
+                sweep.simulate(
+                    label("AIM"),
+                    kind,
+                    params,
+                    base_cfg.clone().with_idc(IdcKind::DedicatedBus),
+                ),
+                sweep.simulate(label("DL-rand"), kind, params, rand_cfg),
+                sweep.simulate(
+                    label("DL-base"),
+                    kind,
+                    params,
+                    base_cfg.clone().with_idc(IdcKind::DimmLink),
+                ),
+                sweep.simulate_optimized(
+                    label("DL-opt"),
+                    kind,
+                    params,
+                    base_cfg.clone().with_idc(IdcKind::DimmLink),
+                ),
             ];
-            for (i, (sys_name, r)) in runs.iter().enumerate() {
-                let speedup = host_ps / r.elapsed.as_ps() as f64;
-                per_system[i].1.push(speedup);
+            groups.push((cfg_name, kind, host_idx, idx));
+        }
+    }
+
+    let out = run_sweep(sweep, &args);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (cfg_name, _) in &configs {
+        let mut rows = Vec::new();
+        let mut per_system: Vec<Vec<f64>> = vec![Vec::new(); SYSTEMS.len()];
+        for &(name, kind, host_idx, idx) in groups.iter().filter(|g| g.0 == *cfg_name) {
+            let host_ps = out.records[host_idx].elapsed_f64();
+            let mut row = vec![kind.to_string()];
+            for (i, &ri) in idx.iter().enumerate() {
+                let r = &out.records[ri];
+                let speedup = host_ps / r.elapsed_f64();
+                per_system[i].push(speedup);
                 row.push(fmt_x(speedup));
                 cells.push(Cell {
-                    config: cfg_name.to_string(),
+                    config: name.to_string(),
                     workload: kind.to_string(),
-                    system: sys_name.to_string(),
+                    system: SYSTEMS[i].to_string(),
                     speedup_vs_host: speedup,
                     idc_stall_frac: r.idc_stall_frac(),
-                    elapsed_ns: r.elapsed.as_ns_f64(),
+                    elapsed_ns: r.elapsed().as_ns_f64(),
                 });
             }
             // IDC stall ratio of the DL-opt run (the paper's line series).
-            row.push(fmt_pct(runs[4].1.idc_stall_frac()));
+            row.push(fmt_pct(out.records[idx[4]].idc_stall_frac()));
             rows.push(row);
         }
         let mut geo_row = vec!["geomean".to_string()];
-        for (_, speedups) in &per_system {
+        for speedups in &per_system {
             geo_row.push(fmt_x(geo(speedups)));
         }
         geo_row.push(String::new());
         rows.push(geo_row);
         print_table(
             &format!("Fig.10 {cfg_name}"),
-            &["workload", "MCN", "AIM", "DL-rand", "DL-base", "DL-opt", "IDC-cyc(DL-opt)"],
+            &[
+                "workload",
+                "MCN",
+                "AIM",
+                "DL-rand",
+                "DL-base",
+                "DL-opt",
+                "IDC-cyc(DL-opt)",
+            ],
             &rows,
         );
     }

@@ -5,8 +5,8 @@
 //! the intra-group links.
 
 use dimm_link::config::{IdcKind, SystemConfig};
-use dimm_link::runner::simulate_optimized;
-use dl_bench::{fmt_pct, print_table, save_json, Args};
+use dl_bench::sweep::Sweep;
+use dl_bench::{fmt_pct, print_table, run_sweep, save_json, Args};
 use dl_workloads::{WorkloadKind, WorkloadParams};
 use serde::Serialize;
 
@@ -20,20 +20,27 @@ struct Row {
 
 fn main() {
     let args = Args::parse();
-    println!("Figure 11: traffic breakdown of DIMM-Link-opt at 16D-8C (scale {})", args.scale);
+    println!(
+        "Figure 11: traffic breakdown of DIMM-Link-opt at 16D-8C (scale {})",
+        args.scale
+    );
     let cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
 
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    let mut fwd_sum = 0.0;
+    let mut sweep = Sweep::new("fig11_breakdown");
     for kind in WorkloadKind::P2P_SET {
         let params = WorkloadParams {
             scale: args.scale,
             seed: args.seed,
             ..WorkloadParams::small(16)
         };
-        let wl = kind.build(&params);
-        let r = simulate_optimized(&wl, &cfg);
+        sweep.simulate_optimized(format!("{kind} / DL-opt"), kind, params, cfg.clone());
+    }
+    let result = run_sweep(sweep, &args);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut fwd_sum = 0.0;
+    for (kind, r) in WorkloadKind::P2P_SET.iter().zip(&result.records) {
         let (local, link, fwd, _) = r.traffic_breakdown();
         fwd_sum += fwd;
         rows.push(vec![
@@ -42,7 +49,12 @@ fn main() {
             fmt_pct(link),
             fmt_pct(fwd),
         ]);
-        out.push(Row { workload: kind.to_string(), local, link, cpu_forwarded: fwd });
+        out.push(Row {
+            workload: kind.to_string(),
+            local,
+            link,
+            cpu_forwarded: fwd,
+        });
     }
     rows.push(vec![
         "mean".into(),

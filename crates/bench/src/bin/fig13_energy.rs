@@ -5,8 +5,8 @@
 //! bit but whose runs are longer).
 
 use dimm_link::config::{IdcKind, SystemConfig};
-use dimm_link::runner::{simulate, RunResult};
-use dl_bench::{fmt_x, geo, print_table, save_json, Args};
+use dl_bench::sweep::Sweep;
+use dl_bench::{fmt_x, geo, print_table, run_sweep, save_json, Args};
 use dl_workloads::{WorkloadKind, WorkloadParams};
 use serde::Serialize;
 
@@ -26,31 +26,45 @@ fn mj(j: f64) -> f64 {
     j * 1e3
 }
 
+const SYSTEMS: [(&str, IdcKind); 3] = [
+    ("MCN", IdcKind::CpuForwarding),
+    ("AIM", IdcKind::DedicatedBus),
+    ("DIMM-Link", IdcKind::DimmLink),
+];
+
 fn main() {
     let args = Args::parse();
     println!("Figure 13: energy at 16D-8C (scale {})", args.scale);
     let base = SystemConfig::nmp(16, 8);
 
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    let mut ratios_mcn = Vec::new();
-    let mut ratios_aim = Vec::new();
+    let mut sweep = Sweep::new("fig13_energy");
     for kind in WorkloadKind::P2P_SET {
         let params = WorkloadParams {
             scale: args.scale,
             seed: args.seed,
             ..WorkloadParams::small(16)
         };
-        let wl = kind.build(&params);
-        let runs: Vec<(&str, RunResult)> = vec![
-            ("MCN", simulate(&wl, &base.clone().with_idc(IdcKind::CpuForwarding))),
-            ("AIM", simulate(&wl, &base.clone().with_idc(IdcKind::DedicatedBus))),
-            ("DIMM-Link", simulate(&wl, &base.clone().with_idc(IdcKind::DimmLink))),
-        ];
-        let totals: Vec<f64> = runs.iter().map(|(_, r)| r.energy.total()).collect();
+        for (name, idc) in SYSTEMS {
+            sweep.simulate(
+                format!("{kind} / {name}"),
+                kind,
+                params,
+                base.clone().with_idc(idc),
+            );
+        }
+    }
+    let result = run_sweep(sweep, &args);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut ratios_mcn = Vec::new();
+    let mut ratios_aim = Vec::new();
+    for (w, kind) in WorkloadKind::P2P_SET.iter().enumerate() {
+        let runs = &result.records[w * SYSTEMS.len()..(w + 1) * SYSTEMS.len()];
+        let totals: Vec<f64> = runs.iter().map(|r| r.energy.total()).collect();
         ratios_mcn.push(totals[0] / totals[2]);
         ratios_aim.push(totals[1] / totals[2]);
-        for (name, r) in &runs {
+        for ((name, _), r) in SYSTEMS.iter().zip(runs) {
             let e = r.energy;
             rows.push(vec![
                 kind.to_string(),
@@ -76,15 +90,32 @@ fn main() {
     }
     print_table(
         "Fig.13 energy breakdown (mJ)",
-        &["workload", "system", "DRAM", "mem-bus", "IDC", "NMP cores", "host", "total"],
+        &[
+            "workload",
+            "system",
+            "DRAM",
+            "mem-bus",
+            "IDC",
+            "NMP cores",
+            "host",
+            "total",
+        ],
         &rows,
     );
     print_table(
         "Fig.13 energy ratios (paper: MCN/DL 1.76x, AIM/DL 1.07x)",
         &["metric", "measured", "paper"],
         &[
-            vec!["MCN / DIMM-Link".into(), fmt_x(geo(&ratios_mcn)), "1.76x".into()],
-            vec!["AIM / DIMM-Link".into(), fmt_x(geo(&ratios_aim)), "1.07x".into()],
+            vec![
+                "MCN / DIMM-Link".into(),
+                fmt_x(geo(&ratios_mcn)),
+                "1.76x".into(),
+            ],
+            vec![
+                "AIM / DIMM-Link".into(),
+                fmt_x(geo(&ratios_aim)),
+                "1.07x".into(),
+            ],
         ],
     );
     save_json("fig13_energy", &out);

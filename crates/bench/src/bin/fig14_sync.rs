@@ -8,7 +8,8 @@
 
 use dimm_link::config::{IdcKind, SyncScheme, SystemConfig};
 use dimm_link::runner::simulate;
-use dl_bench::{fmt_x, print_table, save_json, Args};
+use dl_bench::sweep::Sweep;
+use dl_bench::{fmt_x, print_table, run_sweep, save_json, Args};
 use dl_workloads::{synth, WorkloadKind, WorkloadParams};
 use serde::Serialize;
 
@@ -30,18 +31,65 @@ fn main() {
     central.sync = SyncScheme::Central;
     let mcn = base.clone().with_idc(IdcKind::CpuForwarding);
     let aim = base.clone().with_idc(IdcKind::DedicatedBus);
+    let systems = [
+        ("DL-Hier", hier),
+        ("DL-Central", central),
+        ("MCN", mcn),
+        ("AIM", aim),
+    ];
 
-    // (a) Interval sweep.
+    let mut sweep = Sweep::new("fig14_sync");
+
+    // (a) Interval sweep: the synthetic workload comes from `synth`, not
+    // from a WorkloadKind, so these are custom points.
+    let intervals = [500u32, 1000, 2000, 5000, 10000];
     let rounds = if args.quick { 40 } else { 200 };
+    for &interval in &intervals {
+        let params = WorkloadParams {
+            scale: args.scale,
+            seed: args.seed,
+            ..WorkloadParams::small(16)
+        };
+        for (name, cfg) in &systems {
+            let cfg = cfg.clone();
+            sweep.custom(
+                format!("interval {interval} / {name}"),
+                format!("16D-8C {} sync-sweep", cfg.idc),
+                move || {
+                    let wl = synth::sync_sweep(&params, interval, rounds);
+                    simulate(&wl, &cfg)
+                },
+            );
+        }
+    }
+
+    // (b) TS.Pow end-to-end. The lock-update frequency (and thus the
+    // synchronization pressure SynCron targets) falls off with series
+    // length, so this experiment caps the scale at the sync-rich regime.
+    let ts_params = WorkloadParams {
+        scale: args.scale.min(11),
+        seed: args.seed,
+        ..WorkloadParams::small(16)
+    };
+    let ts_base = sweep.len();
+    for (name, cfg) in &systems {
+        sweep.simulate(
+            format!("ts.pow / {name}"),
+            WorkloadKind::TsPow,
+            ts_params,
+            cfg.clone(),
+        );
+    }
+
+    let out = run_sweep(sweep, &args);
+    let elapsed = |i: usize| out.records[i].elapsed_f64();
+
     let mut rows = Vec::new();
     let mut points = Vec::new();
-    for &interval in &[500u32, 1000, 2000, 5000, 10000] {
-        let params = WorkloadParams { scale: args.scale, seed: args.seed, ..WorkloadParams::small(16) };
-        let wl = synth::sync_sweep(&params, interval, rounds);
-        let t_hier = simulate(&wl, &hier).elapsed.as_ps() as f64;
-        let t_central = simulate(&wl, &central).elapsed.as_ps() as f64;
-        let t_mcn = simulate(&wl, &mcn).elapsed.as_ps() as f64;
-        let t_aim = simulate(&wl, &aim).elapsed.as_ps() as f64;
+    for (n, &interval) in intervals.iter().enumerate() {
+        let i = n * systems.len();
+        let (t_hier, t_central, t_mcn, t_aim) =
+            (elapsed(i), elapsed(i + 1), elapsed(i + 2), elapsed(i + 3));
         rows.push(vec![
             interval.to_string(),
             fmt_x(t_mcn / t_hier),
@@ -61,26 +109,14 @@ fn main() {
         &rows,
     );
 
-    // (b) TS.Pow end-to-end. The lock-update frequency (and thus the
-    // synchronization pressure SynCron targets) falls off with series
-    // length, so this experiment caps the scale at the sync-rich regime.
-    let params = WorkloadParams {
-        scale: args.scale.min(11),
-        seed: args.seed,
-        ..WorkloadParams::small(16)
-    };
-    let wl = WorkloadKind::TsPow.build(&params);
-    let t_hier = simulate(&wl, &hier).elapsed.as_ps() as f64;
-    let t_mcn = simulate(&wl, &mcn).elapsed.as_ps() as f64;
-    let t_aim = simulate(&wl, &aim).elapsed.as_ps() as f64;
-    let t_central = simulate(&wl, &central).elapsed.as_ps() as f64;
+    let t_hier = elapsed(ts_base);
     print_table(
         "Fig.14(b) TS.Pow end-to-end (paper: DL-Hier 1.46-1.74x over MCN)",
         &["system", "speedup of DL-Hier"],
         &[
-            vec!["vs MCN".into(), fmt_x(t_mcn / t_hier)],
-            vec!["vs AIM".into(), fmt_x(t_aim / t_hier)],
-            vec!["vs DL-Central".into(), fmt_x(t_central / t_hier)],
+            vec!["vs MCN".into(), fmt_x(elapsed(ts_base + 2) / t_hier)],
+            vec!["vs AIM".into(), fmt_x(elapsed(ts_base + 3) / t_hier)],
+            vec!["vs DL-Central".into(), fmt_x(elapsed(ts_base + 1) / t_hier)],
         ],
     );
     save_json("fig14_sync", &points);

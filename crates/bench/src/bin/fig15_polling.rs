@@ -6,8 +6,8 @@
 //! end-to-end performance (interrupt latency hurts the interrupt variants).
 
 use dimm_link::config::{IdcKind, PollingStrategy, SystemConfig};
-use dimm_link::runner::simulate;
-use dl_bench::{fmt_pct, fmt_x, geo, print_table, save_json, Args};
+use dl_bench::sweep::Sweep;
+use dl_bench::{fmt_pct, fmt_x, geo, print_table, run_sweep, save_json, Args};
 use dl_workloads::{WorkloadKind, WorkloadParams};
 use serde::Serialize;
 
@@ -20,7 +20,10 @@ struct Row {
 
 fn main() {
     let args = Args::parse();
-    println!("Figure 15: polling strategies at 16D-8C (scale {})", args.scale);
+    println!(
+        "Figure 15: polling strategies at 16D-8C (scale {})",
+        args.scale
+    );
 
     let strategies = [
         PollingStrategy::Base,
@@ -29,26 +32,29 @@ fn main() {
         PollingStrategy::ProxyInterrupt,
     ];
 
-    // Per-strategy speedups vs Base, per workload, plus occupancy.
-    let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
-    let mut occupancy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    let mut sweep = Sweep::new("fig15_polling");
     for kind in WorkloadKind::P2P_SET {
         let params = WorkloadParams {
             scale: args.scale,
             seed: args.seed,
             ..WorkloadParams::small(16)
         };
-        let wl = kind.build(&params);
-        let mut elapsed = Vec::new();
-        for (i, &strat) in strategies.iter().enumerate() {
+        for &strat in &strategies {
             let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
             cfg.polling = strat;
-            let r = simulate(&wl, &cfg);
-            elapsed.push(r.elapsed.as_ps() as f64);
-            occupancy[i].push(r.bus_occupancy());
+            sweep.simulate(format!("{kind} / {strat}"), kind, params, cfg);
         }
-        for (i, t) in elapsed.iter().enumerate() {
-            per_strategy[i].push(elapsed[0] / t);
+    }
+    let result = run_sweep(sweep, &args);
+
+    // Per-strategy speedups vs Base, per workload, plus occupancy.
+    let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    let mut occupancy: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    for w in 0..WorkloadKind::P2P_SET.len() {
+        let runs = &result.records[w * strategies.len()..(w + 1) * strategies.len()];
+        for (i, r) in runs.iter().enumerate() {
+            per_strategy[i].push(runs[0].elapsed_f64() / r.elapsed_f64());
+            occupancy[i].push(r.bus_occupancy());
         }
     }
 

@@ -5,8 +5,8 @@
 //! chain diameter causes congestion that bandwidth relieves.
 
 use dimm_link::config::{IdcKind, SystemConfig};
-use dimm_link::runner::simulate;
-use dl_bench::{fmt_x, print_table, save_json, Args};
+use dl_bench::sweep::Sweep;
+use dl_bench::{fmt_x, print_table, run_sweep, save_json, Args};
 use dl_workloads::{WorkloadKind, WorkloadParams};
 use serde::Serialize;
 
@@ -22,30 +22,45 @@ fn main() {
     let args = Args::parse();
     println!("Figure 16: link-bandwidth sweep (scale {})", args.scale);
     let bandwidths: &[u64] = &[4, 8, 16, 25, 32, 64];
-    let workloads = [WorkloadKind::Hotspot, WorkloadKind::Bfs, WorkloadKind::Pagerank];
+    let workloads = [
+        WorkloadKind::Hotspot,
+        WorkloadKind::Bfs,
+        WorkloadKind::Pagerank,
+    ];
     let configs = [("4D-2C", 4usize, 2usize), ("16D-8C", 16, 8)];
 
-    let mut out = Vec::new();
+    let mut sweep = Sweep::new("fig16_bandwidth");
     for (cfg_name, dimms, channels) in configs {
-        let mut rows = Vec::new();
         for kind in workloads {
             let params = WorkloadParams {
                 scale: args.scale,
                 seed: args.seed,
                 ..WorkloadParams::small(dimms)
             };
-            let wl = kind.build(&params);
-            let mut base_ps = 0.0;
-            let mut row = vec![kind.to_string()];
             for &gb in bandwidths {
                 let mut cfg = SystemConfig::nmp(dimms, channels).with_idc(IdcKind::DimmLink);
                 cfg.link = cfg.link.with_bandwidth(gb * 1_000_000_000);
-                let r = simulate(&wl, &cfg);
-                let t = r.elapsed.as_ps() as f64;
-                if gb == bandwidths[0] {
-                    base_ps = t;
-                }
-                let s = base_ps / t;
+                sweep.simulate(
+                    format!("{cfg_name} / {kind} / {gb} GB/s"),
+                    kind,
+                    params,
+                    cfg,
+                );
+            }
+        }
+    }
+    let result = run_sweep(sweep, &args);
+
+    let mut out = Vec::new();
+    let mut idx = 0;
+    for (cfg_name, _, _) in configs {
+        let mut rows = Vec::new();
+        for kind in workloads {
+            let mut row = vec![kind.to_string()];
+            let base_ps = result.records[idx].elapsed_f64();
+            for &gb in bandwidths {
+                let s = base_ps / result.records[idx].elapsed_f64();
+                idx += 1;
                 row.push(fmt_x(s));
                 out.push(Point {
                     config: cfg_name.to_string(),

@@ -5,7 +5,8 @@
 
 use dimm_link::config::{IdcKind, SystemConfig};
 use dimm_link::runner::simulate;
-use dl_bench::{fmt_x, geo, print_table, save_json, Args};
+use dl_bench::sweep::Sweep;
+use dl_bench::{fmt_x, geo, print_table, run_sweep, save_json, Args};
 use dl_noc::TopologyKind;
 use dl_workloads::{WorkloadKind, WorkloadParams};
 use serde::Serialize;
@@ -18,30 +19,74 @@ struct Row {
     torus: f64,
 }
 
+fn cfg_with(topo: TopologyKind) -> SystemConfig {
+    let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+    cfg.topology = topo;
+    cfg
+}
+
 fn main() {
     let args = Args::parse();
-    println!("Figure 17: topology exploration at 16D-8C (scale {})", args.scale);
-    let topos = [TopologyKind::Ring, TopologyKind::Mesh, TopologyKind::Torus];
+    println!(
+        "Figure 17: topology exploration at 16D-8C (scale {})",
+        args.scale
+    );
+    let all_topos = [
+        TopologyKind::Chain,
+        TopologyKind::Ring,
+        TopologyKind::Mesh,
+        TopologyKind::Torus,
+    ];
 
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    let mut per_topo: Vec<Vec<f64>> = vec![Vec::new(); topos.len()];
+    let mut sweep = Sweep::new("fig17_topology");
     for kind in WorkloadKind::P2P_SET {
         let params = WorkloadParams {
             scale: args.scale,
             seed: args.seed,
             ..WorkloadParams::small(16)
         };
-        let wl = kind.build(&params);
-        let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
-        cfg.topology = TopologyKind::Chain;
-        let base = simulate(&wl, &cfg).elapsed.as_ps() as f64;
+        for topo in all_topos {
+            sweep.simulate(format!("{kind} / {topo:?}"), kind, params, cfg_with(topo));
+        }
+    }
+
+    // Supplementary: the diameter effect in isolation. With two DL groups
+    // the inter-group host path hides intra-group hop savings; a single
+    // 16-DIMM group (chain diameter 15) under a uniform IDC stress exposes
+    // exactly the congestion/diameter problem Section VI discusses.
+    let stress_base = sweep.len();
+    {
+        let params = WorkloadParams {
+            scale: args.scale,
+            seed: args.seed,
+            ..WorkloadParams::small(16)
+        };
+        let messages = if args.quick { 500 } else { 4000 };
+        for topo in all_topos {
+            let mut cfg = cfg_with(topo);
+            cfg.groups = 1;
+            sweep.custom(
+                format!("uniform-stress / {topo:?}"),
+                format!("16D-8C single-group {topo:?}"),
+                move || {
+                    let stress = dl_workloads::synth::uniform_random(&params, messages, 0.9);
+                    simulate(&stress, &cfg)
+                },
+            );
+        }
+    }
+
+    let out = run_sweep(sweep, &args);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut per_topo: Vec<Vec<f64>> = vec![Vec::new(); all_topos.len() - 1];
+    for (w, kind) in WorkloadKind::P2P_SET.iter().enumerate() {
+        let runs = &out.records[w * all_topos.len()..(w + 1) * all_topos.len()];
+        let base = runs[0].elapsed_f64();
         let mut speeds = Vec::new();
-        for (i, &topo) in topos.iter().enumerate() {
-            let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
-            cfg.topology = topo;
-            let t = simulate(&wl, &cfg).elapsed.as_ps() as f64;
-            let s = base / t;
+        for (i, r) in runs[1..].iter().enumerate() {
+            let s = base / r.elapsed_f64();
             per_topo[i].push(s);
             speeds.push(s);
         }
@@ -51,7 +96,7 @@ fn main() {
             fmt_x(speeds[1]),
             fmt_x(speeds[2]),
         ]);
-        out.push(Row {
+        json.push(Row {
             workload: kind.to_string(),
             ring: speeds[0],
             mesh: speeds[1],
@@ -70,33 +115,16 @@ fn main() {
         &rows,
     );
 
-    // Supplementary: the diameter effect in isolation. With two DL groups
-    // the inter-group host path hides intra-group hop savings; a single
-    // 16-DIMM group (chain diameter 15) under a uniform IDC stress exposes
-    // exactly the congestion/diameter problem Section VI discusses.
-    let params = WorkloadParams {
-        scale: args.scale,
-        seed: args.seed,
-        ..WorkloadParams::small(16)
-    };
-    let stress = dl_workloads::synth::uniform_random(&params, if args.quick { 500 } else { 4000 }, 0.9);
+    let stress = &out.records[stress_base..stress_base + all_topos.len()];
+    let base = stress[0].elapsed_f64();
     let mut srow = vec!["uniform-IDC stress".to_string()];
-    let mut base = 0.0;
-    for topo in [TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Mesh, TopologyKind::Torus] {
-        let mut cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
-        cfg.topology = topo;
-        cfg.groups = 1;
-        let t = simulate(&stress, &cfg).elapsed.as_ps() as f64;
-        if base == 0.0 {
-            base = t;
-            continue;
-        }
-        srow.push(fmt_x(base / t));
+    for r in &stress[1..] {
+        srow.push(fmt_x(base / r.elapsed_f64()));
     }
     print_table(
         "Fig.17 supplement: one 16-DIMM group (diameter 15), uniform IDC stress",
         &["workload", "Ring", "Mesh", "Torus"],
         &[srow],
     );
-    save_json("fig17_topology", &out);
+    save_json("fig17_topology", &json);
 }

@@ -7,7 +7,11 @@
 use dimm_link::config::{IdcKind, SystemConfig};
 use dimm_link::host::HostPath;
 use dimm_link::idc::Interconnect;
-use dl_bench::{gbps, print_table, save_json, Args};
+use dimm_link::runner::RunResult;
+use dimm_link::EnergyBreakdown;
+use dl_bench::sweep::Sweep;
+use dl_bench::{gbps, print_table, run_sweep, save_json, Args};
+use dl_engine::stats::StatSet;
 use dl_engine::Ps;
 use serde::Serialize;
 
@@ -19,24 +23,31 @@ struct Row {
     measured_gbps: f64,
 }
 
-/// Saturates a mechanism with concurrent neighbour-to-neighbour streams and
-/// measures the aggregate delivered bandwidth.
-fn measure(kind: IdcKind, packets: u64) -> f64 {
+const BYTES: u64 = 272; // max-size packet
+
+/// Saturates a mechanism with concurrent neighbour-to-neighbour streams;
+/// the returned elapsed time is the last arrival, from which the aggregate
+/// delivered bandwidth follows.
+fn measure(kind: IdcKind, packets: u64) -> RunResult {
     let cfg = SystemConfig::nmp(16, 8).with_idc(kind);
     let mut idc = Interconnect::new(&cfg);
     let mut host = HostPath::new(&cfg, &idc.proxy_channels(&cfg));
-    let bytes = 272u64; // max-size packet
     let mut last = Ps::ZERO;
     // 8 disjoint adjacent pairs stream concurrently.
     for round in 0..packets {
         let t = Ps::from_ns(round); // arrival pacing well above capacity
         for pair in 0..8usize {
             let src = 2 * pair;
-            let (arrival, _) = idc.unicast(&mut host, &cfg, t, src, src + 1, bytes);
+            let (arrival, _) = idc.unicast(&mut host, &cfg, t, src, src + 1, BYTES);
             last = last.max(arrival);
         }
     }
-    gbps(bytes * packets * 8, last)
+    RunResult {
+        elapsed: last,
+        profiling: Ps::ZERO,
+        stats: StatSet::new(),
+        energy: EnergyBreakdown::default(),
+    }
 }
 
 fn main() {
@@ -45,18 +56,32 @@ fn main() {
     let beta = 19.2; // GB/s per channel
 
     let rows_data = [
-        (IdcKind::CpuForwarding, "#Channel x beta/2", 8.0 * beta / 2.0),
+        (
+            IdcKind::CpuForwarding,
+            "#Channel x beta/2",
+            8.0 * beta / 2.0,
+        ),
         (IdcKind::AbcDimm, "#DIMM x beta (broadcast)", 16.0 * beta),
         (IdcKind::DedicatedBus, "beta", beta),
         (IdcKind::DimmLink, "#Link x beta_link", 14.0 * 25.0),
     ];
 
+    // ABC-DIMM's point-to-point path is CPU forwarding; its analytic
+    // entry refers to broadcast (measured in fig12). Measure P2P here.
+    let mut sweep = Sweep::new("table1_idc_methods");
+    for (kind, _, _) in rows_data {
+        sweep.custom(
+            format!("{kind} / stream"),
+            format!("16D-8C {kind} saturating stream"),
+            move || measure(kind, packets),
+        );
+    }
+    let result = run_sweep(sweep, &args);
+
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    for (kind, formula, analytic) in rows_data {
-        // ABC-DIMM's point-to-point path is CPU forwarding; its analytic
-        // entry refers to broadcast (measured in fig12). Measure P2P here.
-        let measured = measure(kind, packets);
+    for ((kind, formula, analytic), record) in rows_data.into_iter().zip(&result.records) {
+        let measured = gbps(BYTES * packets * 8, record.elapsed());
         rows.push(vec![
             kind.to_string(),
             formula.to_string(),

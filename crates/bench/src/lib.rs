@@ -13,10 +13,13 @@
 //! cargo run --release -p dl-bench --bin fig10_p2p -- --scale 14
 //! ```
 
+pub mod sweep;
+
 use dl_engine::stats::geomean;
 use dl_engine::Ps;
 use serde::Serialize;
 use std::io::Write as _;
+use sweep::SweepOptions;
 
 /// Common command-line arguments of every experiment binary.
 #[derive(Debug, Clone)]
@@ -27,29 +30,62 @@ pub struct Args {
     pub seed: u64,
     /// Quick mode for smoke-testing.
     pub quick: bool,
+    /// Sweep worker threads (`--threads`; falls back to `DL_THREADS`).
+    pub threads: Option<usize>,
+    /// Sweep artifact directory (`--out`; default `target/sweeps`).
+    pub out: Option<std::path::PathBuf>,
 }
 
 impl Args {
-    /// Parses `--scale N`, `--seed N`, `--quick` from `std::env::args`.
+    /// Parses `--scale N`, `--seed N`, `--quick`, `--threads N`, `--out DIR`
+    /// from `std::env::args`.
     pub fn parse() -> Self {
+        let mut args = Args {
+            scale: 0,
+            seed: 42,
+            quick: false,
+            threads: None,
+            out: None,
+        };
         let mut scale = None;
-        let mut seed = 42;
-        let mut quick = false;
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--scale" => scale = it.next().and_then(|v| v.parse().ok()),
-                "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
-                "--quick" => quick = true,
+                "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+                "--quick" => args.quick = true,
+                "--threads" => args.threads = it.next().and_then(|v| v.parse().ok()),
+                "--out" => args.out = it.next().map(std::path::PathBuf::from),
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale N] [--seed N] [--quick]");
+                    eprintln!("usage: [--scale N] [--seed N] [--quick] [--threads N] [--out DIR]");
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown argument {other}"),
             }
         }
-        let scale = scale.unwrap_or(if quick { 10 } else { 13 });
-        Args { scale, seed, quick }
+        args.scale = scale.unwrap_or(if args.quick { 10 } else { 13 });
+        args
+    }
+
+    /// The sweep options these arguments describe.
+    pub fn sweep_options(&self) -> SweepOptions {
+        SweepOptions {
+            threads: self.threads,
+            out_dir: self.out.clone(),
+            quiet: false,
+        }
+    }
+}
+
+/// Runs a sweep with this binary's options, exiting with a labeled error
+/// message if a point fails.
+pub fn run_sweep(s: sweep::Sweep, args: &Args) -> sweep::SweepOutcome {
+    match s.run_with(&args.sweep_options()) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -71,7 +107,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8) + 2))
             .collect::<String>()
     };
-    println!("{}", line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -85,7 +124,11 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     }
     let path = dir.join(format!("{name}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap_or_default());
+        let _ = writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(value).unwrap_or_default()
+        );
         println!("[saved {}]", path.display());
     }
 }

@@ -1,0 +1,656 @@
+//! Work-stealing sweep runner shared by every figure/table binary.
+//!
+//! Each paper figure is a sweep over independent `(workload, SystemConfig)`
+//! points. This module runs those points across `min(points, threads)`
+//! workers (plain `std::thread` + channels; the workspace builds offline
+//! with no extra dependencies) while keeping the output **bit-identical
+//! regardless of thread count**:
+//!
+//! * every point is fully described by its [`Job`] — seeds come from the
+//!   point itself, never from worker identity;
+//! * results are collected back in **submission order**, so the record
+//!   stream, the derived tables, and the JSON-lines artifact do not depend
+//!   on scheduling;
+//! * wall-clock timing is kept out of the serialized records
+//!   (`#[serde(skip)]`), so `target/sweeps/<name>.jsonl` can be `diff`ed
+//!   across machines and thread counts.
+//!
+//! Thread count resolution: explicit option > `DL_THREADS` env var >
+//! `std::thread::available_parallelism()`.
+//!
+//! ```no_run
+//! use dl_bench::sweep::Sweep;
+//! use dimm_link::config::{IdcKind, SystemConfig};
+//! use dl_workloads::{WorkloadKind, WorkloadParams};
+//!
+//! let mut sweep = Sweep::new("example");
+//! let cfg = SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink);
+//! let params = WorkloadParams { scale: 8, ..WorkloadParams::small(4) };
+//! let i = sweep.simulate("km 4D-2C", WorkloadKind::KMeans, params, cfg);
+//! let out = sweep.run().unwrap();
+//! println!("elapsed: {} ps", out.records[i].elapsed_ps);
+//! ```
+
+use dimm_link::config::SystemConfig;
+use dimm_link::runner::{host_baseline, simulate, simulate_optimized, RunResult};
+use dimm_link::EnergyBreakdown;
+use dl_engine::stats::StatSet;
+use dl_engine::Ps;
+use dl_workloads::{WorkloadKind, WorkloadParams};
+use serde::Serialize;
+use std::fmt;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// What one sweep point executes. Everything a job needs (notably the
+/// seed) lives in the job itself so any worker produces the same result.
+pub enum Job {
+    /// `runner::simulate` / `runner::simulate_optimized` on an NMP system.
+    Simulate {
+        /// Workload selector; the workload is built inside the worker.
+        kind: WorkloadKind,
+        /// Workload parameters (carry the seed and scale).
+        params: WorkloadParams,
+        /// System under test (boxed: `SystemConfig` dwarfs the other
+        /// variants).
+        cfg: Box<SystemConfig>,
+        /// Apply Algorithm 1 (profile + min-cost max-flow placement).
+        optimized: bool,
+    },
+    /// The fixed 16-core host baseline.
+    HostBaseline {
+        /// Workload selector.
+        kind: WorkloadKind,
+        /// Problem scale.
+        scale: u32,
+        /// Input seed.
+        seed: u64,
+    },
+    /// Anything else (raw `NmpSystem` runs, IDC microbenchmarks, model
+    /// cross-checks). The closure must be deterministic to keep the sweep
+    /// artifact thread-count-independent.
+    Custom(Box<dyn Fn() -> RunResult + Send + Sync>),
+}
+
+/// A labelled unit of work in a sweep.
+pub struct SweepPoint {
+    /// Row label, e.g. `"pr / 16D-8C / DIMM-Link"`.
+    pub label: String,
+    /// Human-readable configuration summary stored in the record.
+    pub config: String,
+    /// The work itself.
+    pub job: Job,
+}
+
+/// One finished sweep point, as serialized to the JSON-lines artifact.
+///
+/// `wall_clock_ms` is measurement noise, not simulation output, so it is
+/// excluded from serialization — the artifact stays byte-identical across
+/// thread counts and machines.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Point label (submission order is preserved).
+    pub label: String,
+    /// Configuration summary.
+    pub config: String,
+    /// End-to-end simulated time in picoseconds.
+    pub elapsed_ps: u64,
+    /// Simulated time spent in the profiling phase (zero unless optimized).
+    pub profiling_ps: u64,
+    /// All raw counters of the run.
+    pub stats: StatSet,
+    /// Energy split by component.
+    pub energy: EnergyBreakdown,
+    /// Host wall-clock time spent simulating this point.
+    #[serde(skip)]
+    pub wall_clock_ms: f64,
+}
+
+impl RunRecord {
+    /// Simulated elapsed time as a typed duration.
+    pub fn elapsed(&self) -> Ps {
+        Ps::from_ps(self.elapsed_ps)
+    }
+
+    /// Simulated elapsed time in picoseconds as `f64` (ratio math).
+    pub fn elapsed_f64(&self) -> f64 {
+        self.elapsed_ps as f64
+    }
+
+    /// Profiling-phase time as a typed duration.
+    pub fn profiling(&self) -> Ps {
+        Ps::from_ps(self.profiling_ps)
+    }
+
+    /// Fraction of core time stalled on non-overlapped IDC.
+    pub fn idc_stall_frac(&self) -> f64 {
+        self.stats.get("idc_stall_frac").unwrap_or(0.0)
+    }
+
+    /// Mean memory-channel occupancy.
+    pub fn bus_occupancy(&self) -> f64 {
+        self.stats.get("host.bus_occupancy").unwrap_or(0.0)
+    }
+
+    /// Traffic fractions `(local, link, host-forwarded, bus)` by bytes.
+    pub fn traffic_breakdown(&self) -> (f64, f64, f64, f64) {
+        let g = |k: &str| self.stats.get(k).unwrap_or(0.0);
+        let local = g("traffic.local_bytes");
+        let link = g("traffic.link_bytes");
+        let fwd = g("traffic.fwd_bytes");
+        let bus = g("traffic.bus_bytes");
+        let total = local + link + fwd + bus;
+        if total == 0.0 {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            (local / total, link / total, fwd / total, bus / total)
+        }
+    }
+}
+
+/// A sweep point failed (in practice: its job panicked).
+#[derive(Debug, Clone)]
+pub struct SweepError {
+    /// Label of the failing point.
+    pub label: String,
+    /// Panic payload or error text.
+    pub message: String,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep point '{}' failed: {}", self.label, self.message)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Execution knobs, usually filled from [`crate::Args`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; `None` falls back to `DL_THREADS`, then to
+    /// `available_parallelism()`.
+    pub threads: Option<usize>,
+    /// Artifact directory; `None` means `target/sweeps`.
+    pub out_dir: Option<PathBuf>,
+    /// Suppress the summary line and skip writing the artifact (tests).
+    pub quiet: bool,
+}
+
+/// Resolves the worker-thread count: explicit request, else `DL_THREADS`,
+/// else `available_parallelism()` (at least 1).
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    requested
+        .or_else(|| {
+            std::env::var("DL_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// A declarative list of sweep points; build it up, then [`Sweep::run`].
+pub struct Sweep {
+    name: String,
+    points: Vec<SweepPoint>,
+}
+
+/// What [`Sweep::run`] returns: records in submission order plus timing.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One record per submitted point, in submission order.
+    pub records: Vec<RunRecord>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall_ms: f64,
+    /// Sum of per-point wall times (what a serial run would have cost).
+    pub serial_estimate_ms: f64,
+    /// Where the JSON-lines artifact was written, if it was.
+    pub path: Option<PathBuf>,
+}
+
+impl Sweep {
+    /// Creates an empty sweep named `name` (also the artifact file stem).
+    pub fn new(name: impl Into<String>) -> Self {
+        Sweep {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Number of submitted points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points have been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Submits a fully-formed point; returns its submission index.
+    pub fn push(&mut self, point: SweepPoint) -> usize {
+        self.points.push(point);
+        self.points.len() - 1
+    }
+
+    /// Submits a plain `simulate` point; returns its submission index.
+    pub fn simulate(
+        &mut self,
+        label: impl Into<String>,
+        kind: WorkloadKind,
+        params: WorkloadParams,
+        cfg: SystemConfig,
+    ) -> usize {
+        self.sim_point(label.into(), kind, params, cfg, false)
+    }
+
+    /// Submits a `simulate_optimized` (Algorithm 1) point.
+    pub fn simulate_optimized(
+        &mut self,
+        label: impl Into<String>,
+        kind: WorkloadKind,
+        params: WorkloadParams,
+        cfg: SystemConfig,
+    ) -> usize {
+        self.sim_point(label.into(), kind, params, cfg, true)
+    }
+
+    fn sim_point(
+        &mut self,
+        label: String,
+        kind: WorkloadKind,
+        params: WorkloadParams,
+        cfg: SystemConfig,
+        optimized: bool,
+    ) -> usize {
+        let config = format!(
+            "{}D-{}C {}{}",
+            cfg.dimms,
+            cfg.channels,
+            cfg.idc,
+            if optimized { " opt" } else { "" }
+        );
+        self.push(SweepPoint {
+            label,
+            config,
+            job: Job::Simulate {
+                kind,
+                params,
+                cfg: Box::new(cfg),
+                optimized,
+            },
+        })
+    }
+
+    /// Submits a host-baseline point.
+    pub fn host(
+        &mut self,
+        label: impl Into<String>,
+        kind: WorkloadKind,
+        scale: u32,
+        seed: u64,
+    ) -> usize {
+        self.push(SweepPoint {
+            label: label.into(),
+            config: "host-16core".into(),
+            job: Job::HostBaseline { kind, scale, seed },
+        })
+    }
+
+    /// Submits an arbitrary deterministic closure as a point.
+    pub fn custom(
+        &mut self,
+        label: impl Into<String>,
+        config: impl Into<String>,
+        f: impl Fn() -> RunResult + Send + Sync + 'static,
+    ) -> usize {
+        self.push(SweepPoint {
+            label: label.into(),
+            config: config.into(),
+            job: Job::Custom(Box::new(f)),
+        })
+    }
+
+    /// Runs with defaults (env-resolved threads, `target/sweeps`).
+    pub fn run(self) -> Result<SweepOutcome, SweepError> {
+        self.run_with(&SweepOptions::default())
+    }
+
+    /// Runs every point across `min(points, threads)` workers, collecting
+    /// records in submission order, writing the JSON-lines artifact, and
+    /// printing the per-sweep summary.
+    ///
+    /// # Errors
+    /// Returns the first (in submission order) point whose job panicked;
+    /// the remaining workers finish their in-flight points and stop.
+    pub fn run_with(self, opts: &SweepOptions) -> Result<SweepOutcome, SweepError> {
+        let Sweep { name, points } = self;
+        let threads = resolve_threads(opts.threads).min(points.len()).max(1);
+        let started = Instant::now();
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<RunRecord, String>)>();
+        let mut slots: Vec<Option<Result<RunRecord, String>>> =
+            (0..points.len()).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let points = &points;
+                scope.spawn(move || {
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(point) = points.get(idx) else { break };
+                        let t0 = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| execute(&point.job)));
+                        let wall_clock_ms = t0.elapsed().as_secs_f64() * 1e3;
+                        let result = match outcome {
+                            Ok(r) => Ok(RunRecord {
+                                label: point.label.clone(),
+                                config: point.config.clone(),
+                                elapsed_ps: r.elapsed.as_ps(),
+                                profiling_ps: r.profiling.as_ps(),
+                                stats: r.stats,
+                                energy: r.energy,
+                                wall_clock_ms,
+                            }),
+                            Err(payload) => Err(panic_text(payload.as_ref())),
+                        };
+                        let failed = result.is_err();
+                        if tx.send((idx, result)).is_err() {
+                            break;
+                        }
+                        if failed {
+                            // Let siblings drain: skip all remaining work.
+                            next.store(points.len(), Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for (idx, result) in rx {
+                slots[idx] = Some(result);
+            }
+        });
+
+        let mut records = Vec::with_capacity(points.len());
+        for (idx, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(record)) => records.push(record),
+                Some(Err(message)) => {
+                    return Err(SweepError {
+                        label: points[idx].label.clone(),
+                        message,
+                    })
+                }
+                // A point after a failure was never executed; report the
+                // failure (found above in submission order) instead.
+                None => {
+                    return Err(SweepError {
+                        label: points[idx].label.clone(),
+                        message: "skipped after an earlier point failed".into(),
+                    })
+                }
+            }
+        }
+
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let serial_estimate_ms: f64 = records.iter().map(|r| r.wall_clock_ms).sum();
+        let path = if opts.quiet {
+            None
+        } else {
+            write_jsonl(
+                opts.out_dir
+                    .as_deref()
+                    .unwrap_or(Path::new("target/sweeps")),
+                &name,
+                &records,
+            )
+        };
+
+        let outcome = SweepOutcome {
+            records,
+            threads,
+            wall_ms,
+            serial_estimate_ms,
+            path,
+        };
+        if !opts.quiet {
+            eprintln!("{}", outcome.summary_line(&name));
+        }
+        Ok(outcome)
+    }
+}
+
+impl SweepOutcome {
+    /// The one-line sweep summary: points, simulated time, wall time, and
+    /// speedup over the serial estimate.
+    pub fn summary_line(&self, name: &str) -> String {
+        let sim: u64 = self.records.iter().map(|r| r.elapsed_ps).sum();
+        let speedup = if self.wall_ms > 0.0 {
+            self.serial_estimate_ms / self.wall_ms
+        } else {
+            1.0
+        };
+        let saved = match &self.path {
+            Some(p) => format!(", saved {}", p.display()),
+            None => String::new(),
+        };
+        format!(
+            "[sweep {name}: {} points on {} threads, sim {}, wall {:.0} ms, {:.1}x vs serial estimate{saved}]",
+            self.records.len(),
+            self.threads,
+            Ps::from_ps(sim),
+            self.wall_ms,
+            speedup,
+        )
+    }
+}
+
+fn execute(job: &Job) -> RunResult {
+    match job {
+        Job::Simulate {
+            kind,
+            params,
+            cfg,
+            optimized,
+        } => {
+            let wl = kind.build(params);
+            if *optimized {
+                simulate_optimized(&wl, cfg)
+            } else {
+                simulate(&wl, cfg)
+            }
+        }
+        Job::HostBaseline { kind, scale, seed } => {
+            let host = host_baseline(*kind, *scale, *seed);
+            RunResult {
+                elapsed: host.elapsed,
+                profiling: Ps::ZERO,
+                stats: host.stats,
+                energy: EnergyBreakdown::default(),
+            }
+        }
+        Job::Custom(f) => f(),
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".into()
+    }
+}
+
+fn write_jsonl(dir: &Path, name: &str, records: &[RunRecord]) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut f = std::fs::File::create(&path).ok()?;
+    for record in records {
+        let line = serde_json::to_string(record).ok()?;
+        writeln!(f, "{line}").ok()?;
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimm_link::config::IdcKind;
+
+    fn custom_result(ps: u64) -> RunResult {
+        let mut stats = StatSet::new();
+        stats.set("point.value", ps as f64);
+        RunResult {
+            elapsed: Ps::from_ps(ps),
+            profiling: Ps::ZERO,
+            stats,
+            energy: EnergyBreakdown::default(),
+        }
+    }
+
+    fn quiet() -> SweepOptions {
+        SweepOptions {
+            quiet: true,
+            ..SweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn submission_order_survives_contention() {
+        // Early points sleep longest, so with several workers the completion
+        // order inverts the submission order; the records must not.
+        let mut sweep = Sweep::new("order");
+        for i in 0..12u64 {
+            sweep.custom(format!("p{i}"), "test", move || {
+                std::thread::sleep(std::time::Duration::from_millis(12 - i));
+                custom_result(i)
+            });
+        }
+        let out = sweep
+            .run_with(&SweepOptions {
+                threads: Some(4),
+                ..quiet()
+            })
+            .unwrap();
+        assert_eq!(out.threads, 4);
+        for (i, r) in out.records.iter().enumerate() {
+            assert_eq!(r.label, format!("p{i}"));
+            assert_eq!(r.elapsed_ps, i as u64);
+        }
+    }
+
+    fn small_sweep(name: &str) -> Sweep {
+        let mut sweep = Sweep::new(name);
+        for (i, kind) in [
+            WorkloadKind::KMeans,
+            WorkloadKind::Hotspot,
+            WorkloadKind::Bfs,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let params = WorkloadParams {
+                scale: 7,
+                seed: 42 + i as u64,
+                ..WorkloadParams::small(4)
+            };
+            let cfg = SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink);
+            sweep.simulate(kind.to_string(), kind, params, cfg);
+        }
+        sweep.host("host km", WorkloadKind::KMeans, 7, 42);
+        sweep
+    }
+
+    #[test]
+    fn identical_artifact_for_1_and_n_threads() {
+        let dir = std::env::temp_dir().join(format!("dl-sweep-test-{}", std::process::id()));
+        let run = |threads: usize, sub: &str| {
+            let out = small_sweep("det")
+                .run_with(&SweepOptions {
+                    threads: Some(threads),
+                    out_dir: Some(dir.join(sub)),
+                    quiet: false,
+                })
+                .unwrap();
+            std::fs::read(out.path.expect("artifact written")).unwrap()
+        };
+        let serial = run(1, "t1");
+        let parallel = run(4, "t4");
+        assert!(!serial.is_empty());
+        assert_eq!(serial, parallel, "artifact must not depend on thread count");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let out = Sweep::new("empty").run_with(&quiet()).unwrap();
+        assert!(out.records.is_empty());
+        assert_eq!(out.threads, 1);
+    }
+
+    #[test]
+    fn panicking_point_is_a_labeled_error() {
+        let mut sweep = Sweep::new("boom");
+        sweep.custom("fine", "test", || custom_result(1));
+        sweep.custom("exploder", "test", || panic!("intentional test panic"));
+        let err = sweep
+            .run_with(&SweepOptions {
+                threads: Some(2),
+                ..quiet()
+            })
+            .unwrap_err();
+        assert_eq!(err.label, "exploder");
+        assert!(err.message.contains("intentional test panic"), "{err}");
+    }
+
+    #[test]
+    fn failure_does_not_poison_the_pool() {
+        // After a panic the sweep still shuts down cleanly even with many
+        // queued points and fewer workers than points.
+        let mut sweep = Sweep::new("poison");
+        sweep.custom("bang", "test", || panic!("first point dies"));
+        for i in 0..8u64 {
+            sweep.custom(format!("later{i}"), "test", move || custom_result(i));
+        }
+        let err = sweep
+            .run_with(&SweepOptions {
+                threads: Some(2),
+                ..quiet()
+            })
+            .unwrap_err();
+        assert_eq!(err.label, "bang");
+    }
+
+    #[test]
+    fn thread_resolution_prefers_explicit_request() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn records_carry_derived_metrics() {
+        let out = small_sweep("metrics").run_with(&quiet()).unwrap();
+        let r = &out.records[0];
+        assert!(r.elapsed_ps > 0);
+        assert_eq!(r.elapsed(), Ps::from_ps(r.elapsed_ps));
+        let (a, b, c, d) = r.traffic_breakdown();
+        assert!((a + b + c + d - 1.0).abs() < 1e-9 || (a, b, c, d) == (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(out.records[3].config, "host-16core");
+    }
+}

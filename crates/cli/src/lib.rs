@@ -17,9 +17,11 @@
 
 use dimm_link::config::{IdcKind, PollingStrategy, SyncScheme, SystemConfig};
 use dimm_link::runner::{host_baseline, simulate, simulate_optimized, RunResult};
+use dl_bench::sweep::{Sweep, SweepOptions};
 use dl_noc::TopologyKind;
 use dl_workloads::{WorkloadKind, WorkloadParams};
 use std::fmt;
+use std::path::PathBuf;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +76,12 @@ pub struct RunSpec {
     pub link_gbps: Option<u64>,
     /// Emit JSON instead of tables.
     pub json: bool,
+    /// Sweep worker threads (sweep only); `None` defers to `DL_THREADS`,
+    /// then to `available_parallelism()`.
+    pub threads: Option<usize>,
+    /// Sweep artifact directory (sweep only); writes
+    /// `<dir>/dlsim_<param>.jsonl` when set.
+    pub out_dir: Option<PathBuf>,
 }
 
 impl Default for RunSpec {
@@ -93,6 +101,8 @@ impl Default for RunSpec {
             sync: None,
             link_gbps: None,
             json: false,
+            threads: None,
+            out_dir: None,
         }
     }
 }
@@ -173,7 +183,9 @@ fn parse_polling(s: &str) -> Result<PollingStrategy, CliError> {
 
 /// Parses the full argument vector (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
-    let Some(sub) = args.first() else { return Ok(Command::Help) };
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
     match sub.as_str() {
         "list" => return Ok(Command::List),
         "help" | "--help" | "-h" => return Ok(Command::Help),
@@ -187,7 +199,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut next = |flag: &str| -> Result<&String, CliError> {
-            it.next().ok_or_else(|| err(format!("{flag} needs a value")))
+            it.next()
+                .ok_or_else(|| err(format!("{flag} needs a value")))
         };
         match a.as_str() {
             "--workload" | "-w" => spec.workload = parse_workload(next(a)?)?,
@@ -195,7 +208,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 spec.dimms = next(a)?.parse().map_err(|_| err("--dimms: not a number"))?
             }
             "--channels" | "-c" => {
-                spec.channels = next(a)?.parse().map_err(|_| err("--channels: not a number"))?
+                spec.channels = next(a)?
+                    .parse()
+                    .map_err(|_| err("--channels: not a number"))?
             }
             "--idc" | "-i" => spec.idc = parse_idc(next(a)?)?,
             "--opt" => spec.optimized = true,
@@ -203,7 +218,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--seed" => spec.seed = next(a)?.parse().map_err(|_| err("--seed: not a number"))?,
             "--broadcast" => spec.broadcast = true,
             "--locality" => {
-                spec.locality = next(a)?.parse().map_err(|_| err("--locality: not a number"))?;
+                spec.locality = next(a)?
+                    .parse()
+                    .map_err(|_| err("--locality: not a number"))?;
                 if !(0.0..=1.0).contains(&spec.locality) {
                     return Err(err("--locality must be in [0,1]"));
                 }
@@ -218,10 +235,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 })
             }
             "--link-gbps" => {
-                spec.link_gbps =
-                    Some(next(a)?.parse().map_err(|_| err("--link-gbps: not a number"))?)
+                spec.link_gbps = Some(
+                    next(a)?
+                        .parse()
+                        .map_err(|_| err("--link-gbps: not a number"))?,
+                )
             }
             "--json" => spec.json = true,
+            "--threads" => {
+                let n: usize = next(a)?
+                    .parse()
+                    .map_err(|_| err("--threads: not a number"))?;
+                if n == 0 {
+                    return Err(err("--threads must be at least 1"));
+                }
+                spec.threads = Some(n);
+            }
+            "--out" => spec.out_dir = Some(PathBuf::from(next(a)?)),
             "--param" => {
                 param = Some(match next(a)?.to_ascii_lowercase().as_str() {
                     "dimms" => SweepParam::Dimms,
@@ -249,7 +279,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if values.is_empty() {
                 return Err(err("sweep needs --values a,b,c"));
             }
-            Ok(Command::Sweep { spec, param, values })
+            Ok(Command::Sweep {
+                spec,
+                param,
+                values,
+            })
         }
         _ => unreachable!("validated above"),
     }
@@ -257,7 +291,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 
 /// Builds the system configuration a spec describes.
 pub fn system_of(spec: &RunSpec) -> Result<SystemConfig, CliError> {
-    if spec.dimms == 0 || spec.channels == 0 || spec.dimms % spec.channels != 0 {
+    if spec.dimms == 0 || spec.channels == 0 || !spec.dimms.is_multiple_of(spec.channels) {
         return Err(err(format!(
             "dimms ({}) must be a positive multiple of channels ({})",
             spec.dimms, spec.channels
@@ -278,17 +312,21 @@ pub fn system_of(spec: &RunSpec) -> Result<SystemConfig, CliError> {
     Ok(cfg)
 }
 
-/// Builds the workload a spec describes.
-pub fn workload_of(spec: &RunSpec) -> dl_workloads::Workload {
-    let params = WorkloadParams {
+/// Builds the workload parameters a spec describes.
+pub fn params_of(spec: &RunSpec) -> WorkloadParams {
+    WorkloadParams {
         dimms: spec.dimms,
         threads_per_dimm: 4,
         scale: spec.scale,
         seed: spec.seed,
         broadcast: spec.broadcast,
         locality: spec.locality,
-    };
-    spec.workload.build(&params)
+    }
+}
+
+/// Builds the workload a spec describes.
+pub fn workload_of(spec: &RunSpec) -> dl_workloads::Workload {
+    spec.workload.build(&params_of(spec))
 }
 
 /// Runs a spec and returns the result.
@@ -359,13 +397,22 @@ pub fn execute_compare(spec: &RunSpec) -> Result<Vec<CompareRow>, CliError> {
     Ok(rows)
 }
 
-/// Runs the `sweep` subcommand; returns `(value, elapsed_ns)` pairs.
+/// Runs the `sweep` subcommand on the [`dl_bench::sweep`] harness; returns
+/// `(value, elapsed_ns)` pairs in submission order. Points fan out over
+/// `spec.threads` workers (else `DL_THREADS`, else all cores); when
+/// `spec.out_dir` is set the JSON-lines artifact `dlsim_<param>.jsonl` is
+/// written there and a summary line goes to stderr.
 pub fn execute_sweep(
     spec: &RunSpec,
     param: SweepParam,
     values: &[u64],
 ) -> Result<Vec<(u64, f64)>, CliError> {
-    let mut out = Vec::new();
+    let name = match param {
+        SweepParam::Dimms => "dimms",
+        SweepParam::LinkGbps => "link_gbps",
+        SweepParam::Scale => "scale",
+    };
+    let mut sweep = Sweep::new(format!("dlsim_{name}"));
     for &v in values {
         let mut s = spec.clone();
         match param {
@@ -376,10 +423,26 @@ pub fn execute_sweep(
             SweepParam::LinkGbps => s.link_gbps = Some(v),
             SweepParam::Scale => s.scale = v as u32,
         }
-        let r = execute_run(&s)?;
-        out.push((v, r.elapsed.as_ns_f64()));
+        let cfg = system_of(&s)?; // validate before spawning workers
+        let label = format!("{} / {name}={v}", s.workload);
+        if s.optimized {
+            sweep.simulate_optimized(label, s.workload, params_of(&s), cfg);
+        } else {
+            sweep.simulate(label, s.workload, params_of(&s), cfg);
+        }
     }
-    Ok(out)
+    let opts = SweepOptions {
+        threads: spec.threads,
+        out_dir: spec.out_dir.clone(),
+        // Without --out there is no artifact to announce; keep stderr clean.
+        quiet: spec.out_dir.is_none(),
+    };
+    let out = sweep.run_with(&opts).map_err(|e| CliError(e.to_string()))?;
+    Ok(values
+        .iter()
+        .copied()
+        .zip(out.records.iter().map(|r| r.elapsed_f64() / 1e3))
+        .collect())
 }
 
 /// The `list` text.
@@ -401,10 +464,13 @@ pub fn usage() -> String {
      USAGE:\n\
      \x20 dlsim run     --workload <w> [--dimms N --channels N --idc <m> --opt] [flags]\n\
      \x20 dlsim compare --workload <w> [--dimms N --channels N] [flags]\n\
-     \x20 dlsim sweep   --workload <w> --param <p> --values a,b,c [flags]\n\
+     \x20 dlsim sweep   --workload <w> --param <p> --values a,b,c [--threads N --out DIR] [flags]\n\
      \x20 dlsim list\n\n\
      FLAGS: --scale N  --seed N  --broadcast  --locality F  --topology <t>\n\
      \x20      --polling <s>  --sync <s>  --link-gbps N  --json\n\n\
+     Sweeps fan out over --threads workers (default: DL_THREADS, else all\n\
+     cores); results are deterministic regardless of thread count. With\n\
+     --out DIR the sweep also writes DIR/dlsim_<param>.jsonl.\n\n\
      Run `dlsim list` for accepted names."
         .to_string()
 }
@@ -420,11 +486,23 @@ mod tests {
     #[test]
     fn parses_run_with_flags() {
         let cmd = parse_args(&sv(&[
-            "run", "--workload", "sssp", "--dimms", "8", "--channels", "4", "--idc", "aim",
-            "--scale", "9", "--json",
+            "run",
+            "--workload",
+            "sssp",
+            "--dimms",
+            "8",
+            "--channels",
+            "4",
+            "--idc",
+            "aim",
+            "--scale",
+            "9",
+            "--json",
         ]))
         .unwrap();
-        let Command::Run(spec) = cmd else { panic!("expected Run") };
+        let Command::Run(spec) = cmd else {
+            panic!("expected Run")
+        };
         assert_eq!(spec.workload, WorkloadKind::Sssp);
         assert_eq!(spec.dimms, 8);
         assert_eq!(spec.channels, 4);
@@ -436,12 +514,44 @@ mod tests {
     #[test]
     fn parses_sweep() {
         let cmd = parse_args(&sv(&[
-            "sweep", "--workload", "bfs", "--param", "dimms", "--values", "4,8,16",
+            "sweep",
+            "--workload",
+            "bfs",
+            "--param",
+            "dimms",
+            "--values",
+            "4,8,16",
         ]))
         .unwrap();
-        let Command::Sweep { param, values, .. } = cmd else { panic!() };
+        let Command::Sweep { param, values, .. } = cmd else {
+            panic!()
+        };
         assert_eq!(param, SweepParam::Dimms);
         assert_eq!(values, vec![4, 8, 16]);
+    }
+
+    #[test]
+    fn parses_sweep_harness_knobs() {
+        let cmd = parse_args(&sv(&[
+            "sweep",
+            "--workload",
+            "pr",
+            "--param",
+            "scale",
+            "--values",
+            "7,8",
+            "--threads",
+            "2",
+            "--out",
+            "/tmp/dlsim-artifacts",
+        ]))
+        .unwrap();
+        let Command::Sweep { spec, .. } = cmd else {
+            panic!("expected Sweep")
+        };
+        assert_eq!(spec.threads, Some(2));
+        assert_eq!(spec.out_dir, Some(PathBuf::from("/tmp/dlsim-artifacts")));
+        assert!(parse_args(&sv(&["sweep", "--threads", "0"])).is_err());
     }
 
     #[test]
@@ -462,7 +572,11 @@ mod tests {
 
     #[test]
     fn system_of_validates() {
-        let mut spec = RunSpec { dimms: 10, channels: 4, ..RunSpec::default() };
+        let mut spec = RunSpec {
+            dimms: 10,
+            channels: 4,
+            ..RunSpec::default()
+        };
         assert!(system_of(&spec).is_err());
         spec.dimms = 8;
         assert!(system_of(&spec).is_ok());
@@ -497,9 +611,44 @@ mod tests {
     }
 
     #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let spec = RunSpec {
+            workload: WorkloadKind::KMeans,
+            scale: 7,
+            ..RunSpec::default()
+        };
+        let serial = execute_sweep(
+            &RunSpec {
+                threads: Some(1),
+                ..spec.clone()
+            },
+            SweepParam::Dimms,
+            &[4, 8],
+        )
+        .unwrap();
+        let parallel = execute_sweep(
+            &RunSpec {
+                threads: Some(4),
+                ..spec
+            },
+            SweepParam::Dimms,
+            &[4, 8],
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn listing_mentions_everything() {
         let l = listing();
-        for item in ["bfs", "pagerank", "dimm-link", "torus", "proxy", "hierarchical"] {
+        for item in [
+            "bfs",
+            "pagerank",
+            "dimm-link",
+            "torus",
+            "proxy",
+            "hierarchical",
+        ] {
             assert!(l.contains(item), "listing missing {item}");
         }
     }

@@ -1,8 +1,6 @@
 //! `dlsim` binary: see [`dl_cli`] for the command grammar.
 
-use dl_cli::{
-    execute_compare, execute_run, execute_sweep, listing, parse_args, usage, Command,
-};
+use dl_cli::{execute_compare, execute_run, execute_sweep, listing, parse_args, usage, Command};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,7 +45,10 @@ fn dispatch(cmd: Command) -> Result<(), dl_cli::CliError> {
                     energy_j: r.energy.total(),
                     stats: &r.stats,
                 };
-                println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&out).expect("serializable")
+                );
             } else {
                 println!("elapsed          : {}", r.elapsed);
                 if r.profiling > dl_engine::Ps::ZERO {
@@ -69,7 +70,10 @@ fn dispatch(cmd: Command) -> Result<(), dl_cli::CliError> {
         Command::Compare(spec) => {
             let rows = execute_compare(&spec)?;
             if spec.json {
-                println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&rows).expect("serializable")
+                );
             } else {
                 println!(
                     "{:<16} {:>14} {:>10} {:>10}",
@@ -86,10 +90,17 @@ fn dispatch(cmd: Command) -> Result<(), dl_cli::CliError> {
                 }
             }
         }
-        Command::Sweep { spec, param, values } => {
+        Command::Sweep {
+            spec,
+            param,
+            values,
+        } => {
             let out = execute_sweep(&spec, param, &values)?;
             if spec.json {
-                println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&out).expect("serializable")
+                );
             } else {
                 println!("{:<12} {:>14} {:>10}", "value", "elapsed", "speedup");
                 let base = out.first().map(|&(_, ns)| ns).unwrap_or(1.0);

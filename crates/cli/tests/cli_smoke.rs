@@ -19,7 +19,10 @@ fn help_and_list_exit_zero() {
 
 #[test]
 fn bad_flags_exit_nonzero_with_usage() {
-    let out = dlsim().args(["run", "--workload", "nonsense"]).output().unwrap();
+    let out = dlsim()
+        .args(["run", "--workload", "nonsense"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
 }
@@ -28,12 +31,24 @@ fn bad_flags_exit_nonzero_with_usage() {
 fn run_emits_valid_json() {
     let out = dlsim()
         .args([
-            "run", "--workload", "km", "--dimms", "4", "--channels", "2", "--scale", "7",
+            "run",
+            "--workload",
+            "km",
+            "--dimms",
+            "4",
+            "--channels",
+            "2",
+            "--scale",
+            "7",
             "--json",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let v: serde_json::Value =
         serde_json::from_slice(&out.stdout).expect("stdout must be valid JSON");
     assert!(v["elapsed_ns"].as_f64().unwrap() > 0.0);
@@ -44,7 +59,15 @@ fn run_emits_valid_json() {
 fn sweep_prints_every_value() {
     let out = dlsim()
         .args([
-            "sweep", "--workload", "hs", "--param", "dimms", "--values", "4,8", "--scale", "7",
+            "sweep",
+            "--workload",
+            "hs",
+            "--param",
+            "dimms",
+            "--values",
+            "4,8",
+            "--scale",
+            "7",
         ])
         .output()
         .unwrap();

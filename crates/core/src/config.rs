@@ -175,8 +175,10 @@ impl SystemConfig {
     /// # Panics
     /// Panics if `dimms` is not a positive multiple of `channels`.
     pub fn nmp(dimms: usize, channels: usize) -> Self {
-        assert!(dimms > 0 && channels > 0 && dimms % channels == 0,
-            "dimms ({dimms}) must be a positive multiple of channels ({channels})");
+        assert!(
+            dimms > 0 && channels > 0 && dimms.is_multiple_of(channels),
+            "dimms ({dimms}) must be a positive multiple of channels ({channels})"
+        );
         SystemConfig {
             dimms,
             channels,
@@ -269,7 +271,9 @@ impl SystemConfig {
 
     /// The DIMMs of one group, in chain order.
     pub fn group_members(&self, group: usize) -> Vec<usize> {
-        (0..self.dimms).filter(|&d| self.group_of(d) == group).collect()
+        (0..self.dimms)
+            .filter(|&d| self.group_of(d) == group)
+            .collect()
     }
 
     /// Total NMP threads (one per core).
@@ -285,14 +289,16 @@ impl SystemConfig {
         if self.dimms == 0 || self.dimms > 32 {
             return Err(format!("dimms must be in 1..=32, got {}", self.dimms));
         }
-        if self.dimms % self.channels != 0 {
+        if !self.dimms.is_multiple_of(self.channels) {
             return Err("dimms must divide evenly over channels".into());
         }
         if self.groups == 0 || self.groups > self.dimms {
             return Err("groups must be in 1..=dimms".into());
         }
-        if matches!(self.polling, PollingStrategy::Proxy | PollingStrategy::ProxyInterrupt)
-            && self.idc != IdcKind::DimmLink
+        if matches!(
+            self.polling,
+            PollingStrategy::Proxy | PollingStrategy::ProxyInterrupt
+        ) && self.idc != IdcKind::DimmLink
         {
             return Err("proxy polling requires the DIMM-Link mechanism".into());
         }

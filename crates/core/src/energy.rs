@@ -91,7 +91,13 @@ pub fn energy_of(
     let nmp_cores_j = p.nmp_watts_per_dimm * dimms as f64 * elapsed.as_secs_f64();
     let host_j =
         g("host.fwd_packets") * p.fwd_nj_per_packet * 1e-9 + g("host.polls") * p.poll_nj * 1e-9;
-    EnergyBreakdown { dram_j, bus_j, idc_j, nmp_cores_j, host_j }
+    EnergyBreakdown {
+        dram_j,
+        bus_j,
+        idc_j,
+        nmp_cores_j,
+        host_j,
+    }
 }
 
 #[cfg(test)]

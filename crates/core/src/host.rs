@@ -163,7 +163,13 @@ impl HostPath {
     /// the polling thread itself shuttles sync flags, so they serialize
     /// hard (the inefficiency hierarchical synchronization exists to
     /// avoid, paper Section III-D).
-    pub fn forward_sync(&mut self, t: Ps, src_channel: usize, dst_channel: usize, bytes: u64) -> Ps {
+    pub fn forward_sync(
+        &mut self,
+        t: Ps,
+        src_channel: usize,
+        dst_channel: usize,
+        bytes: u64,
+    ) -> Ps {
         let read_done = self.channel_transfer(src_channel, t, bytes);
         let slot_end = self.cpu.reserve(read_done, self.sync_fwd_occupancy);
         let processed = slot_end + self.fwd_proc;
@@ -219,7 +225,11 @@ impl HostPath {
         if self.channels.is_empty() {
             return 0.0;
         }
-        self.channels.iter().map(|c| c.utilization(end)).sum::<f64>() / self.channels.len() as f64
+        self.channels
+            .iter()
+            .map(|c| c.utilization(end))
+            .sum::<f64>()
+            / self.channels.len() as f64
     }
 
     /// Total bytes moved over all channels.

@@ -302,7 +302,11 @@ impl<'w> HostSystem<'w> {
         let id = self.alloc();
         self.txns.insert(id, (c, !is_write));
         self.cores[c].outstanding.push(id);
-        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         // Channel command/IO latency folded into the request arrival.
         let arrival = t + self.cfg.channel_latency;
         self.mc_enqueue(ch, arrival, MemRequest::new(id, kind, self.decode(addr)));
@@ -312,7 +316,11 @@ impl<'w> HostSystem<'w> {
         let ch = self.channel_of(addr);
         let id = self.alloc();
         // Not in txns: nobody waits.
-        self.mc_enqueue(ch, t + self.cfg.channel_latency, MemRequest::new(id, AccessKind::Write, self.decode(addr)));
+        self.mc_enqueue(
+            ch,
+            t + self.cfg.channel_latency,
+            MemRequest::new(id, AccessKind::Write, self.decode(addr)),
+        );
     }
 
     fn decode(&self, addr: u64) -> dl_mem::DimmAddr {
@@ -407,7 +415,9 @@ impl<'w> HostSystem<'w> {
         let mem_stall: Ps = self.cores.iter().map(|c| c.mem_stall).sum();
         s.set(
             "mem_stall_frac",
-            if elapsed == Ps::ZERO { 0.0 } else {
+            if elapsed == Ps::ZERO {
+                0.0
+            } else {
                 mem_stall.as_ps() as f64 / (elapsed.as_ps() as f64 * threads)
             },
         );
@@ -443,7 +453,11 @@ mod tests {
 
     #[test]
     fn host_runs_real_workloads() {
-        for kind in [WorkloadKind::Bfs, WorkloadKind::KMeans, WorkloadKind::Hotspot] {
+        for kind in [
+            WorkloadKind::Bfs,
+            WorkloadKind::KMeans,
+            WorkloadKind::Hotspot,
+        ] {
             let wl = kind.build(&host_params());
             let r = simulate_host(&wl, &HostConfig::xeon_16core());
             assert!(r.elapsed > Ps::ZERO, "{kind}");

@@ -74,8 +74,8 @@ impl CxlFabric {
     /// Moves `bytes` from blade `src` to blade `dst` starting at `now`.
     fn transfer(&mut self, now: Ps, src: usize, dst: usize, bytes: u64) -> Ps {
         let sent = self.egress[src].transfer(now, bytes);
-        let received = self.ingress[dst].transfer(sent + self.latency, bytes);
-        received
+
+        self.ingress[dst].transfer(sent + self.latency, bytes)
     }
 
     fn bytes_moved(&self) -> u64 {
@@ -210,8 +210,8 @@ pub enum Interconnect {
     },
     /// ABC-DIMM.
     AbcDimm,
-    /// DIMM-Link.
-    DimmLink(DlState),
+    /// DIMM-Link. Boxed: the link state dwarfs the other variants.
+    DimmLink(Box<DlState>),
 }
 
 impl Interconnect {
@@ -225,11 +225,15 @@ impl Interconnect {
                 latency: cfg.bus_latency,
                 txn_overhead: cfg.bus_txn_overhead,
             },
-            IdcKind::DimmLink => Interconnect::DimmLink(DlState::new(cfg)),
-            IdcKind::DimmLinkCxl => Interconnect::DimmLink(DlState::with_fabric(
+            IdcKind::DimmLink => Interconnect::DimmLink(Box::new(DlState::new(cfg))),
+            IdcKind::DimmLinkCxl => Interconnect::DimmLink(Box::new(DlState::with_fabric(
                 cfg,
-                Some(CxlFabric::new(cfg.groups, cfg.cxl_bandwidth, cfg.cxl_latency)),
-            )),
+                Some(CxlFabric::new(
+                    cfg.groups,
+                    cfg.cxl_bandwidth,
+                    cfg.cxl_latency,
+                )),
+            ))),
         }
     }
 
@@ -298,7 +302,11 @@ impl Interconnect {
                 let arrival = fwd(host, disc, cfg.channel_of(src), cfg.channel_of(dst));
                 (arrival, Route::HostForward)
             }
-            Interconnect::DedicatedBus { bus, latency, txn_overhead } => {
+            Interconnect::DedicatedBus {
+                bus,
+                latency,
+                txn_overhead,
+            } => {
                 let data_done = bus.transfer(now, bytes);
                 let released = bus.occupy(data_done, *txn_overhead);
                 (released + *latency, Route::Bus)
@@ -332,15 +340,21 @@ impl Interconnect {
                     // Inter-group: register, get discovered, be forwarded.
                     let (disc_channel, registered, scan) = if dl.proxy_polling {
                         let proxy = dl.proxy[gs];
-                        let reg = if proxy == src { now } else { dl.send(now, src, proxy, NOTIFY_BYTES) };
+                        let reg = if proxy == src {
+                            now
+                        } else {
+                            dl.send(now, src, proxy, NOTIFY_BYTES)
+                        };
                         (cfg.channel_of(proxy), reg, 1)
                     } else {
                         (cfg.channel_of(src), now, cfg.dimms_per_channel())
                     };
                     let disc = host.discover(registered, disc_channel, scan);
                     let arrival = fwd(host, disc, cfg.channel_of(src), cfg.channel_of(dst));
-                    dl.notify_wait.record((registered.saturating_sub(now)).as_ps());
-                    dl.disc_wait.record((disc.saturating_sub(registered)).as_ps());
+                    dl.notify_wait
+                        .record((registered.saturating_sub(now)).as_ps());
+                    dl.disc_wait
+                        .record((disc.saturating_sub(registered)).as_ps());
                     dl.fwd_wait.record((arrival.saturating_sub(disc)).as_ps());
                     (arrival, Route::HostForward)
                 }
@@ -365,10 +379,10 @@ impl Interconnect {
                 // DIMM individually.
                 let disc = host.discover(now, cfg.channel_of(src), cfg.dimms_per_channel());
                 let read = host.channel_transfer(cfg.channel_of(src), disc, bytes);
-                for d in 0..cfg.dimms {
+                for (d, a) in arrivals.iter_mut().enumerate() {
                     if d != src {
                         let ready = host.host_process(read);
-                        arrivals[d] = host.channel_transfer(cfg.channel_of(d), ready, bytes);
+                        *a = host.channel_transfer(cfg.channel_of(d), ready, bytes);
                     }
                 }
             }
@@ -378,24 +392,28 @@ impl Interconnect {
                 // broadcast-write.
                 let disc = host.discover(now, cfg.channel_of(src), cfg.dimms_per_channel());
                 let read = host.channel_transfer(cfg.channel_of(src), disc, bytes);
-                for d in 0..cfg.dimms {
+                for (d, a) in arrivals.iter_mut().enumerate() {
                     if d != src && cfg.channel_of(d) == cfg.channel_of(src) {
-                        arrivals[d] = read;
+                        *a = read;
                     }
                 }
                 for ch in 0..cfg.channels {
                     if ch != cfg.channel_of(src) {
                         let ready = host.host_process(read);
                         let w = host.channel_transfer(ch, ready, bytes);
-                        for d in 0..cfg.dimms {
+                        for (d, a) in arrivals.iter_mut().enumerate() {
                             if cfg.channel_of(d) == ch {
-                                arrivals[d] = w;
+                                *a = w;
                             }
                         }
                     }
                 }
             }
-            Interconnect::DedicatedBus { bus, latency, txn_overhead } => {
+            Interconnect::DedicatedBus {
+                bus,
+                latency,
+                txn_overhead,
+            } => {
                 // One multi-drop transaction reaches everyone.
                 let data_done = bus.transfer(now, bytes);
                 let done = bus.occupy(data_done, *txn_overhead) + *latency;
@@ -437,7 +455,11 @@ impl Interconnect {
                         let (_, lp) = dl.of[proxy];
                         let sub = dl.nets[g].broadcast(landed + dl.dl_proc, lp, bytes);
                         for (i, &d) in dl.groups[g].clone().iter().enumerate() {
-                            arrivals[d] = if d == proxy { landed } else { sub[i] + dl.dl_proc };
+                            arrivals[d] = if d == proxy {
+                                landed
+                            } else {
+                                sub[i] + dl.dl_proc
+                            };
                         }
                     }
                     return arrivals;
@@ -464,7 +486,11 @@ impl Interconnect {
                     let (_, lp) = dl.of[proxy];
                     let sub = dl.nets[g].broadcast(at_proxy + dl.dl_proc, lp, bytes);
                     for (i, &d) in dl.groups[g].clone().iter().enumerate() {
-                        arrivals[d] = if d == proxy { at_proxy } else { sub[i] + dl.dl_proc };
+                        arrivals[d] = if d == proxy {
+                            at_proxy
+                        } else {
+                            sub[i] + dl.dl_proc
+                        };
                     }
                 }
             }
@@ -673,7 +699,7 @@ mod tests {
         assert_eq!(d[0][1], 1);
         assert_eq!(d[0][7], 7);
         assert_eq!(d[0][8], 24); // cross-group penalty
-        // MCN is distance-oblivious.
+                                 // MCN is distance-oblivious.
         let cfg2 = SystemConfig::nmp(16, 8).with_idc(IdcKind::CpuForwarding);
         let idc2 = Interconnect::new(&cfg2);
         let d2 = distance_matrix(&cfg2, &idc2);
@@ -766,6 +792,9 @@ mod cxl_tests {
         // Two transfers leaving the same blade contend for its port.
         let (a, _) = idc.unicast(&mut host, &cfg, Ps::ZERO, 4, 12, big);
         let (b, _) = idc.unicast(&mut host, &cfg, Ps::ZERO, 4, 12, big);
-        assert!(b > a + Ps::from_us(20), "port contention missing: {a} then {b}");
+        assert!(
+            b > a + Ps::from_us(20),
+            "port contention missing: {a} then {b}"
+        );
     }
 }

@@ -3,9 +3,7 @@
 use crate::config::{HostConfig, PlacementPolicy, SystemConfig};
 use crate::energy::{energy_of, EnergyBreakdown, EnergyParams};
 use crate::host_sim::{simulate_host, HostRun};
-use crate::system::{
-    natural_placement, optimized_placement, random_placement, NmpSystem, RawRun,
-};
+use crate::system::{natural_placement, optimized_placement, random_placement, NmpSystem, RawRun};
 use dl_engine::stats::StatSet;
 use dl_engine::Ps;
 use dl_workloads::{Workload, WorkloadKind, WorkloadParams};
@@ -84,12 +82,7 @@ pub fn simulate(workload: &Workload, cfg: &SystemConfig) -> RunResult {
 /// placement. The profiling time is charged to `elapsed`, as in the paper.
 pub fn simulate_optimized(workload: &Workload, cfg: &SystemConfig) -> RunResult {
     let start = random_placement(workload, cfg, cfg.seed);
-    let max_len = workload
-        .traces()
-        .iter()
-        .map(|t| t.len())
-        .max()
-        .unwrap_or(0);
+    let max_len = workload.traces().iter().map(|t| t.len()).max().unwrap_or(0);
     let limit = ((max_len as f64 * cfg.profile_fraction) as usize).max(32);
     let profile_run = NmpSystem::new(workload, cfg, &start, Some(limit)).run();
     let placement = optimized_placement(cfg, &profile_run);
@@ -126,7 +119,10 @@ mod tests {
     use crate::config::IdcKind;
 
     fn params(dimms: usize) -> WorkloadParams {
-        WorkloadParams { scale: 9, ..WorkloadParams::small(dimms) }
+        WorkloadParams {
+            scale: 9,
+            ..WorkloadParams::small(dimms)
+        }
     }
 
     #[test]
@@ -179,7 +175,10 @@ mod tests {
         let (a, b, c, d) = r.traffic_breakdown();
         assert!((a + b + c + d - 1.0).abs() < 1e-9);
         assert!(a > 0.0 && b > 0.0);
-        assert!(c > 0.0, "16D system has two groups: some forwarding expected");
+        assert!(
+            c > 0.0,
+            "16D system has two groups: some forwarding expected"
+        );
     }
 
     #[test]

@@ -309,7 +309,10 @@ mod tests {
         assert_eq!(r.reserve(Ps::from_ns(0), Ps::from_ns(4)), Ps::from_ns(4));
         assert_eq!(r.reserve(Ps::from_ns(1), Ps::from_ns(4)), Ps::from_ns(8));
         // A late request starts immediately once the resource is free.
-        assert_eq!(r.reserve(Ps::from_ns(100), Ps::from_ns(1)), Ps::from_ns(101));
+        assert_eq!(
+            r.reserve(Ps::from_ns(100), Ps::from_ns(1)),
+            Ps::from_ns(101)
+        );
         assert_eq!(r.reservations(), 3);
     }
 
@@ -336,7 +339,7 @@ mod tests {
         assert_eq!(link.duration_of(0), Ps::ZERO);
         assert_eq!(link.duration_of(7), Ps::from_ps(7));
         let slow = BandwidthResource::new("s", 3); // 3 bytes/sec
-        // 1 byte at 3 B/s = 333.33... ms, rounded up.
+                                                   // 1 byte at 3 B/s = 333.33... ms, rounded up.
         assert_eq!(slow.duration_of(1), Ps::from_ps(333_333_333_334));
     }
 
@@ -365,7 +368,10 @@ mod tests {
     fn gap_filling_backfills_idle_time() {
         let mut r = Resource::new("r");
         // A future reservation leaves the earlier gap usable.
-        assert_eq!(r.reserve(Ps::from_ns(1000), Ps::from_ns(10)), Ps::from_ns(1010));
+        assert_eq!(
+            r.reserve(Ps::from_ns(1000), Ps::from_ns(10)),
+            Ps::from_ns(1010)
+        );
         assert_eq!(r.reserve(Ps::from_ns(0), Ps::from_ns(10)), Ps::from_ns(10));
         // A gap too small is skipped.
         let end = r.reserve(Ps::from_ns(995), Ps::from_ns(10));
@@ -385,7 +391,10 @@ mod tests {
         }
         // 100 x 5 ns of work arriving every 10 ns: finishes ~ last arrival,
         // not 100 x 150 ns.
-        assert!(last < Ps::from_ns(10 * 100 + 150 + 20), "serialized: {last}");
+        assert!(
+            last < Ps::from_ns(10 * 100 + 150 + 20),
+            "serialized: {last}"
+        );
     }
 
     #[test]

@@ -189,7 +189,11 @@ impl Histogram {
             seen += b;
             if seen >= target.max(1) {
                 // Upper edge of bucket i.
-                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
             }
         }
         self.max

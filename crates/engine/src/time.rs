@@ -121,11 +121,7 @@ impl Ps {
     #[inline]
     pub fn cycles_at(self, freq: Freq) -> u64 {
         let period = freq.period().as_ps();
-        if period == 0 {
-            0
-        } else {
-            self.0 / period
-        }
+        self.0.checked_div(period).unwrap_or(0)
     }
 }
 

@@ -187,7 +187,12 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for rank in 0..cfg.ranks {
             for bank in 0..cfg.banks_per_rank() {
-                let a = DimmAddr { rank, bank, row: 0, col: 0 };
+                let a = DimmAddr {
+                    rank,
+                    bank,
+                    row: 0,
+                    col: 0,
+                };
                 assert!(seen.insert(a.flat_bank(&cfg)));
             }
         }

@@ -69,12 +69,17 @@ impl CacheConfig {
         if self.ways == 0 {
             return Err("ways must be >= 1".into());
         }
-        if self.capacity_bytes % (self.ways * self.line_bytes) != 0 {
+        if !self
+            .capacity_bytes
+            .is_multiple_of(self.ways * self.line_bytes)
+        {
             return Err("capacity must be divisible by ways * line_bytes".into());
         }
         let sets = self.sets();
         if sets == 0 || !sets.is_power_of_two() {
-            return Err(format!("set count must be a non-zero power of two, got {sets}"));
+            return Err(format!(
+                "set count must be a non-zero power of two, got {sets}"
+            ));
         }
         Ok(())
     }
@@ -252,7 +257,11 @@ mod tests {
 
     #[test]
     fn geometry_presets_are_valid() {
-        for cfg in [CacheConfig::l1_32k(), CacheConfig::l2_128k(), CacheConfig::llc_2m()] {
+        for cfg in [
+            CacheConfig::l1_32k(),
+            CacheConfig::l2_128k(),
+            CacheConfig::llc_2m(),
+        ] {
             cfg.validate().unwrap();
             assert!(cfg.sets().is_power_of_two());
         }
@@ -274,7 +283,10 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = Cache::new(CacheConfig::l1_32k());
-        assert!(matches!(c.access(0, false), CacheOutcome::Miss { writeback: None }));
+        assert!(matches!(
+            c.access(0, false),
+            CacheOutcome::Miss { writeback: None }
+        ));
         assert_eq!(c.access(0, false), CacheOutcome::Hit);
         assert_eq!(c.access(63, false), CacheOutcome::Hit);
         assert!(matches!(c.access(64, false), CacheOutcome::Miss { .. }));
@@ -297,7 +309,10 @@ mod tests {
         c.access(0, false); // touch A -> B is LRU
         c.access(2 * set_stride as u64, false); // evicts B
         assert_eq!(c.access(0, false), CacheOutcome::Hit);
-        assert!(matches!(c.access(set_stride as u64, false), CacheOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access(set_stride as u64, false),
+            CacheOutcome::Miss { .. }
+        ));
     }
 
     #[test]

@@ -197,8 +197,7 @@ impl MemController {
         self.apply_refreshes(now);
 
         // Issue as long as something can start now.
-        loop {
-            let Some((idx, plan)) = self.pick(now) else { break };
+        while let Some((idx, plan)) = self.pick(now) {
             let pending = self.queue.remove(idx).expect("picked index in range");
             self.issue(now, pending, plan);
         }
@@ -431,7 +430,7 @@ impl MemController {
             // finish (the accumulated pre_ready constraints plus tRP).
             bank.open_row = None;
             bank.hit_streak = 0;
-            bank.pre_ready = bank.pre_ready + t.t(t.rp);
+            bank.pre_ready += t.t(t.rp);
         }
         let _ = burst_start;
 
@@ -529,7 +528,9 @@ mod tests {
             if done.len() >= n {
                 break;
             }
-            now = mc.next_wake().expect("controller stalled with work pending");
+            now = mc
+                .next_wake()
+                .expect("controller stalled with work pending");
             guard += 1;
             assert!(guard < 1_000_000, "runaway drain loop");
         }
@@ -540,7 +541,10 @@ mod tests {
     fn single_read_latency_is_rcd_cl_bl() {
         let (cfg, map, mut mc) = setup();
         let t = cfg.timing;
-        mc.enqueue(Ps::ZERO, MemRequest::new(1, AccessKind::Read, map.decode(0)));
+        mc.enqueue(
+            Ps::ZERO,
+            MemRequest::new(1, AccessKind::Read, map.decode(0)),
+        );
         let done = drain(&mut mc, 1);
         let expected = t.t(t.rcd + t.cl + t.bl);
         assert_eq!(done[0].at, expected);
@@ -551,8 +555,14 @@ mod tests {
     fn row_hit_is_faster_than_conflict() {
         let (cfg, map, mut mc) = setup();
         // Two accesses to the same row: second is a hit.
-        mc.enqueue(Ps::ZERO, MemRequest::new(1, AccessKind::Read, map.decode(0)));
-        mc.enqueue(Ps::ZERO, MemRequest::new(2, AccessKind::Read, map.decode(64)));
+        mc.enqueue(
+            Ps::ZERO,
+            MemRequest::new(1, AccessKind::Read, map.decode(0)),
+        );
+        mc.enqueue(
+            Ps::ZERO,
+            MemRequest::new(2, AccessKind::Read, map.decode(64)),
+        );
         let done = drain(&mut mc, 2);
         assert!(done[1].row_hit);
         let hit_gap = done[1].at - done[0].at;
@@ -560,8 +570,14 @@ mod tests {
         // Conflict: same bank, different row.
         let mut mc2 = MemController::new("t2", &cfg);
         let row_stride = cfg.total_banks() as u64 * cfg.row_bytes as u64;
-        mc2.enqueue(Ps::ZERO, MemRequest::new(1, AccessKind::Read, map.decode(0)));
-        mc2.enqueue(Ps::ZERO, MemRequest::new(2, AccessKind::Read, map.decode(row_stride)));
+        mc2.enqueue(
+            Ps::ZERO,
+            MemRequest::new(1, AccessKind::Read, map.decode(0)),
+        );
+        mc2.enqueue(
+            Ps::ZERO,
+            MemRequest::new(2, AccessKind::Read, map.decode(row_stride)),
+        );
         let done2 = drain(&mut mc2, 2);
         assert!(!done2[1].row_hit);
         let miss_gap = done2[1].at - done2[0].at;
@@ -577,7 +593,10 @@ mod tests {
         // 512 sequential lines in one rank: row hits dominate.
         let n = 512u64;
         for i in 0..n {
-            mc.enqueue(Ps::ZERO, MemRequest::new(i, AccessKind::Read, map.decode(i * 64)));
+            mc.enqueue(
+                Ps::ZERO,
+                MemRequest::new(i, AccessKind::Read, map.decode(i * 64)),
+            );
         }
         let done = drain(&mut mc, n as usize);
         let end = done.iter().map(|c| c.at).max().unwrap();
@@ -653,8 +672,14 @@ mod tests {
     fn writes_then_read_respects_turnaround() {
         let (cfg, map, mut mc) = setup();
         let t = cfg.timing;
-        mc.enqueue(Ps::ZERO, MemRequest::new(1, AccessKind::Write, map.decode(0)));
-        mc.enqueue(Ps::ZERO, MemRequest::new(2, AccessKind::Read, map.decode(64)));
+        mc.enqueue(
+            Ps::ZERO,
+            MemRequest::new(1, AccessKind::Write, map.decode(0)),
+        );
+        mc.enqueue(
+            Ps::ZERO,
+            MemRequest::new(2, AccessKind::Read, map.decode(64)),
+        );
         let done = drain(&mut mc, 2);
         let write_end = done[0].at;
         let read_end = done[1].at;
@@ -666,7 +691,10 @@ mod tests {
     fn refresh_happens_and_closes_rows() {
         let (cfg, map, mut mc) = setup();
         let t = cfg.timing;
-        mc.enqueue(Ps::ZERO, MemRequest::new(1, AccessKind::Read, map.decode(0)));
+        mc.enqueue(
+            Ps::ZERO,
+            MemRequest::new(1, AccessKind::Read, map.decode(0)),
+        );
         drain(&mut mc, 1);
         // Advance beyond several refresh intervals with a new request.
         let late = t.t(t.refi) * 3 + Ps::from_ns(10);
@@ -690,13 +718,22 @@ mod tests {
         let (cfg, map, mut mc) = setup();
         let row_stride = cfg.total_banks() as u64 * cfg.row_bytes as u64;
         // One conflicting request enqueued first, then many hits to row 0.
-        mc.enqueue(Ps::ZERO, MemRequest::new(0, AccessKind::Read, map.decode(0)));
+        mc.enqueue(
+            Ps::ZERO,
+            MemRequest::new(0, AccessKind::Read, map.decode(0)),
+        );
         // Prime: open row 0 first.
         let _ = drain(&mut mc, 1);
         let t0 = Ps::from_us(1);
-        mc.enqueue(t0, MemRequest::new(100, AccessKind::Read, map.decode(row_stride)));
+        mc.enqueue(
+            t0,
+            MemRequest::new(100, AccessKind::Read, map.decode(row_stride)),
+        );
         for i in 0..16u64 {
-            mc.enqueue(t0, MemRequest::new(i + 1, AccessKind::Read, map.decode(64 * (i + 1))));
+            mc.enqueue(
+                t0,
+                MemRequest::new(i + 1, AccessKind::Read, map.decode(64 * (i + 1))),
+            );
         }
         let done = drain(&mut mc, 17);
         let conflict_pos = done.iter().position(|c| c.id == 100).unwrap();
@@ -711,7 +748,11 @@ mod tests {
     fn stats_are_consistent() {
         let (_, map, mut mc) = setup();
         for i in 0..10u64 {
-            let kind = if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write };
+            let kind = if i % 2 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
             mc.enqueue(Ps::ZERO, MemRequest::new(i, kind, map.decode(i * 64)));
         }
         drain(&mut mc, 10);
@@ -731,7 +772,10 @@ mod tests {
     fn next_wake_none_when_idle() {
         let (_, map, mut mc) = setup();
         assert!(mc.next_wake().is_none());
-        mc.enqueue(Ps::ZERO, MemRequest::new(1, AccessKind::Read, map.decode(0)));
+        mc.enqueue(
+            Ps::ZERO,
+            MemRequest::new(1, AccessKind::Read, map.decode(0)),
+        );
         assert!(mc.next_wake().is_some());
         drain(&mut mc, 1);
         // After completion pops and queue empties, wake should clear.
@@ -751,7 +795,10 @@ mod policy_tests {
         let map = DimmAddressMap::new(cfg);
         let mut mc = MemController::new("p", cfg);
         for (i, &off) in offsets.iter().enumerate() {
-            mc.enqueue(Ps::ZERO, MemRequest::new(i as u64, AccessKind::Read, map.decode(off)));
+            mc.enqueue(
+                Ps::ZERO,
+                MemRequest::new(i as u64, AccessKind::Read, map.decode(off)),
+            );
         }
         let mut end = Ps::ZERO;
         let mut got = 0;
@@ -788,7 +835,10 @@ mod policy_tests {
         let map = DimmAddressMap::new(&cfg);
         let mut mc = MemController::new("p", &cfg);
         for i in 0..32u64 {
-            mc.enqueue(Ps::ZERO, MemRequest::new(i, AccessKind::Read, map.decode(i * 64)));
+            mc.enqueue(
+                Ps::ZERO,
+                MemRequest::new(i, AccessKind::Read, map.decode(i * 64)),
+            );
         }
         let mut got = 0;
         let mut now = Ps::ZERO;
@@ -850,7 +900,10 @@ mod shared_bus_tests {
             let rank_stride = cfg.banks_per_rank() as u64 * cfg.row_bytes as u64;
             for i in 0..256u64 {
                 let off = (i / 2) * 64 + (i % 2) * rank_stride;
-                mc.enqueue(Ps::ZERO, MemRequest::new(i, AccessKind::Read, map.decode(off)));
+                mc.enqueue(
+                    Ps::ZERO,
+                    MemRequest::new(i, AccessKind::Read, map.decode(off)),
+                );
             }
             let mut end = Ps::ZERO;
             let mut got = 0;

@@ -187,9 +187,12 @@ impl DramConfig {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if !self.line_bytes.is_power_of_two() || self.line_bytes == 0 {
-            return Err(format!("line_bytes must be a power of two, got {}", self.line_bytes));
+            return Err(format!(
+                "line_bytes must be a power of two, got {}",
+                self.line_bytes
+            ));
         }
-        if self.row_bytes % self.line_bytes != 0 {
+        if !self.row_bytes.is_multiple_of(self.line_bytes) {
             return Err("row_bytes must be a multiple of line_bytes".into());
         }
         for (name, v) in [

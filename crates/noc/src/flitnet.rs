@@ -302,7 +302,9 @@ impl FlitNet {
             let start_vc = self.out_ports[out].vc_rr;
             for k in 0..self.cfg.vcs {
                 let ovc = (start_vc + k) % self.cfg.vcs;
-                let Some(input) = self.out_ports[out].locked[ovc] else { continue };
+                let Some(input) = self.out_ports[out].locked[ovc] else {
+                    continue;
+                };
                 if self.links[out].vcs[ovc].credits == 0
                     || !self.head_requests(from, input, LinkId(out), ovc)
                 {
@@ -437,7 +439,10 @@ mod tests {
     use super::*;
 
     fn chain(n: usize) -> FlitNet {
-        FlitNet::new(&Topology::new(TopologyKind::Chain, n), FlitNetConfig::grs_25gbps())
+        FlitNet::new(
+            &Topology::new(TopologyKind::Chain, n),
+            FlitNetConfig::grs_25gbps(),
+        )
     }
 
     #[test]
@@ -449,8 +454,16 @@ mod tests {
         // 3 link traversals, each with the wire/router pipeline, plus a few
         // cycles of switch/ejection alignment.
         assert_eq!(done[0].id, 1);
-        assert!(done[0].latency_cycles >= 3 * per_hop, "lat {}", done[0].latency_cycles);
-        assert!(done[0].latency_cycles <= 3 * per_hop + 10, "lat {}", done[0].latency_cycles);
+        assert!(
+            done[0].latency_cycles >= 3 * per_hop,
+            "lat {}",
+            done[0].latency_cycles
+        );
+        assert!(
+            done[0].latency_cycles <= 3 * per_hop + 10,
+            "lat {}",
+            done[0].latency_cycles
+        );
     }
 
     #[test]
@@ -563,7 +576,7 @@ mod tests {
         let mut net = FlitNet::new(&topo, FlitNetConfig::grs_25gbps_ring());
         // 6 -> 1: the shortest path crosses the wrap (6-7-0-1).
         net.inject(1, 6, 1, 4);
-        let used_vc1 = net.vc_plan_of(0).iter().any(|&v| v == 1);
+        let used_vc1 = net.vc_plan_of(0).contains(&1);
         assert!(used_vc1, "dateline switching never engaged");
         let done = net.run_until_idle(100_000);
         assert_eq!(done.len(), 1);

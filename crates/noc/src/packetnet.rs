@@ -31,7 +31,10 @@ impl LinkParams {
 
     /// Same latencies with a different bandwidth (for the Fig. 16 sweep).
     pub fn with_bandwidth(self, bytes_per_sec: u64) -> Self {
-        LinkParams { bytes_per_sec, ..self }
+        LinkParams {
+            bytes_per_sec,
+            ..self
+        }
     }
 }
 
@@ -265,7 +268,9 @@ mod tests {
         // Neighbour pairs (0,1) (2,3) (4,5) (6,7) all finish at the same
         // time: aggregate bandwidth = #links * beta (paper Table I).
         let mut n = net(TopologyKind::Chain, 8);
-        let times: Vec<Ps> = (0..4).map(|i| n.send(Ps::ZERO, 2 * i, 2 * i + 1, 100_000)).collect();
+        let times: Vec<Ps> = (0..4)
+            .map(|i| n.send(Ps::ZERO, 2 * i, 2 * i + 1, 100_000))
+            .collect();
         assert!(times.windows(2).all(|w| w[0] == w[1]));
     }
 

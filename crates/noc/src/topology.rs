@@ -266,7 +266,7 @@ fn grid_dims(n: usize) -> (usize, usize) {
     let mut rows = 1;
     let mut r = 1;
     while r * r <= n {
-        if n % r == 0 {
+        if n.is_multiple_of(r) {
             rows = r;
         }
         r += 1;

@@ -58,8 +58,18 @@ impl MinCostFlow {
         assert!(cap >= 0, "negative capacity");
         assert!(cost >= 0, "negative cost");
         let id = self.edges.len();
-        self.edges.push(Edge { to: v, cap, cost, flow: 0 });
-        self.edges.push(Edge { to: u, cap: 0, cost: -cost, flow: 0 });
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            cost,
+            flow: 0,
+        });
+        self.edges.push(Edge {
+            to: u,
+            cap: 0,
+            cost: -cost,
+            flow: 0,
+        });
         self.adj[u].push(id);
         self.adj[v].push(id + 1);
         id

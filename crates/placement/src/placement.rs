@@ -142,6 +142,9 @@ pub fn place_threads_brute_force(
     let mut assignment = vec![0usize; t];
     let mut load = vec![0usize; n];
 
+    // Plain exhaustive search keeps the reference implementation obvious;
+    // threading the state through a struct would only obscure it.
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         i: usize,
         t: usize,
@@ -166,15 +169,38 @@ pub fn place_threads_brute_force(
             if load[j] < max_per_dimm {
                 load[j] += 1;
                 assignment[i] = j;
-                recurse(i + 1, t, n, max_per_dimm, cost, assignment, load, acc + cost[i][j], best);
+                recurse(
+                    i + 1,
+                    t,
+                    n,
+                    max_per_dimm,
+                    cost,
+                    assignment,
+                    load,
+                    acc + cost[i][j],
+                    best,
+                );
                 load[j] -= 1;
             }
         }
     }
 
-    recurse(0, t, n, max_per_dimm, &cost, &mut assignment, &mut load, 0, &mut best);
+    recurse(
+        0,
+        t,
+        n,
+        max_per_dimm,
+        &cost,
+        &mut assignment,
+        &mut load,
+        0,
+        &mut best,
+    );
     let (total_cost, assignment) = best.expect("feasible instance has a solution");
-    Ok(Placement { assignment, total_cost })
+    Ok(Placement {
+        assignment,
+        total_cost,
+    })
 }
 
 #[cfg(test)]
@@ -244,7 +270,10 @@ mod tests {
         let m = AccessProfile::new(5, 2);
         assert_eq!(
             place_threads(&m, &chain_dist(2), 2),
-            Err(PlacementError::Infeasible { threads: 5, capacity: 4 })
+            Err(PlacementError::Infeasible {
+                threads: 5,
+                capacity: 4
+            })
         );
     }
 

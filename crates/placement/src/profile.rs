@@ -32,7 +32,10 @@ impl AccessProfile {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(threads: usize, dimms: usize) -> Self {
-        assert!(threads > 0 && dimms > 0, "profile dimensions must be non-zero");
+        assert!(
+            threads > 0 && dimms > 0,
+            "profile dimensions must be non-zero"
+        );
         AccessProfile {
             threads,
             dimms,
@@ -55,7 +58,10 @@ impl AccessProfile {
     /// # Panics
     /// Panics if an index is out of range.
     pub fn record(&mut self, thread: usize, dimm: usize, n: u64) {
-        assert!(thread < self.threads && dimm < self.dimms, "index out of range");
+        assert!(
+            thread < self.threads && dimm < self.dimms,
+            "index out of range"
+        );
         self.counts[thread * self.dimms + dimm] += n;
     }
 
@@ -87,8 +93,8 @@ impl AccessProfile {
         let mut cost = vec![vec![0u64; self.dimms]; self.threads];
         for (i, cost_row) in cost.iter_mut().enumerate() {
             for (j, c) in cost_row.iter_mut().enumerate() {
-                for k in 0..self.dimms {
-                    *c += dist[j][k] * self.get(i, k);
+                for (k, d) in dist[j].iter().enumerate() {
+                    *c += d * self.get(i, k);
                 }
             }
         }

@@ -41,7 +41,10 @@ impl CreditCounter {
     /// Panics if `max` is zero.
     pub fn new(max: u32) -> Self {
         assert!(max > 0, "credit pool must be non-empty");
-        CreditCounter { available: max, max }
+        CreditCounter {
+            available: max,
+            max,
+        }
     }
 
     /// Consumes one credit if available.
@@ -167,7 +170,8 @@ impl DllEndpoint {
             let seq = self.next_seq;
             self.next_seq += 1;
             pkt.dll_field = seq;
-            self.unacked.insert(seq, (pkt.clone(), now + self.retry_timeout));
+            self.unacked
+                .insert(seq, (pkt.clone(), now + self.retry_timeout));
             out.push(DllEvent::Transmit(pkt));
         }
         out
@@ -293,7 +297,9 @@ mod tests {
         let mut tx = DllEndpoint::new(8, Ps::from_ns(100));
         for i in 0..3 {
             let evs = tx.send(Ps::ZERO, pkt(i));
-            let DllEvent::Transmit(p) = &evs[0] else { panic!() };
+            let DllEvent::Transmit(p) = &evs[0] else {
+                panic!()
+            };
             assert_eq!(p.dll_field, i as u32);
         }
         assert_eq!(tx.outstanding(), 3);
@@ -334,7 +340,9 @@ mod tests {
         let mut tx = DllEndpoint::new(4, Ps::from_ns(100));
         let mut rx = DllEndpoint::new(4, Ps::from_ns(100));
         let evs = tx.send(Ps::ZERO, pkt(9));
-        let DllEvent::Transmit(on_wire) = &evs[0] else { panic!() };
+        let DllEvent::Transmit(on_wire) = &evs[0] else {
+            panic!()
+        };
         let flits = on_wire.encode();
 
         let first = rx.receive(Ps::ZERO, &flits).unwrap();
@@ -353,7 +361,9 @@ mod tests {
         let mut tx = DllEndpoint::new(4, Ps::from_ns(100));
         let mut rx = DllEndpoint::new(4, Ps::from_ns(100));
         let evs = tx.send(Ps::ZERO, pkt(1));
-        let DllEvent::Transmit(on_wire) = &evs[0] else { panic!() };
+        let DllEvent::Transmit(on_wire) = &evs[0] else {
+            panic!()
+        };
         let mut flits = on_wire.encode();
         flits[0][3] ^= 0xFF; // corrupt in flight
         assert!(rx.receive(Ps::ZERO, &flits).is_err());
@@ -361,7 +371,9 @@ mod tests {
 
         // Sender times out and retransmits the clean copy.
         let retry = tx.poll_timeouts(Ps::from_ns(100));
-        let DllEvent::Transmit(again) = &retry[0] else { panic!() };
+        let DllEvent::Transmit(again) = &retry[0] else {
+            panic!()
+        };
         let evs = rx.receive(Ps::from_ns(120), &again.encode()).unwrap();
         assert!(matches!(&evs[0], DllEvent::Deliver(_)));
     }

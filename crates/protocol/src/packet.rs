@@ -132,7 +132,10 @@ impl fmt::Display for ProtocolError {
                 write!(f, "payload of {n} bytes exceeds {MAX_PAYLOAD}")
             }
             ProtocolError::CrcMismatch { expected, computed } => {
-                write!(f, "crc mismatch: tail {expected:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "crc mismatch: tail {expected:#010x}, computed {computed:#010x}"
+                )
             }
             ProtocolError::BadCommand(c) => write!(f, "unassigned command encoding {c}"),
             ProtocolError::Truncated { expected, got } => {
@@ -181,7 +184,13 @@ impl PacketHeader {
         if dst.0 >= 32 {
             return Err(ProtocolError::IdTooWide(dst.0));
         }
-        Ok(PacketHeader { src, dst, cmd, addr, tag })
+        Ok(PacketHeader {
+            src,
+            dst,
+            cmd,
+            addr,
+            tag,
+        })
     }
 
     fn pack(&self, len_field: u8) -> u64 {
@@ -201,7 +210,16 @@ impl PacketHeader {
         let addr = (word >> 13) & ((1u64 << ADDR_BITS) - 1);
         let tag = ((word >> 5) & 0xFF) as u8;
         let len_field = (word & 0x1F) as u8;
-        Ok((PacketHeader { src, dst, cmd, addr, tag }, len_field))
+        Ok((
+            PacketHeader {
+                src,
+                dst,
+                cmd,
+                addr,
+                tag,
+            },
+            len_field,
+        ))
     }
 }
 
@@ -220,7 +238,11 @@ pub struct Packet {
 impl Packet {
     /// A packet without payload (e.g. a read request).
     pub fn without_payload(header: PacketHeader) -> Self {
-        Packet { header, payload: Vec::new(), dll_field: 0 }
+        Packet {
+            header,
+            payload: Vec::new(),
+            dll_field: 0,
+        }
     }
 
     /// A packet carrying `payload`.
@@ -231,7 +253,11 @@ impl Packet {
         if payload.len() > MAX_PAYLOAD {
             return Err(ProtocolError::PayloadTooLong(payload.len()));
         }
-        Ok(Packet { header, payload, dll_field: 0 })
+        Ok(Packet {
+            header,
+            payload,
+            dll_field: 0,
+        })
     }
 
     /// Number of flits this packet occupies on the wire.
@@ -286,7 +312,10 @@ impl Packet {
         let (header, len_field) = PacketHeader::unpack(head_word)?;
         let n_flits = len_field as usize + 1;
         if flits.len() < n_flits {
-            return Err(ProtocolError::Truncated { expected: n_flits, got: flits.len() });
+            return Err(ProtocolError::Truncated {
+                expected: n_flits,
+                got: flits.len(),
+            });
         }
         let bytes: Vec<u8> = flits[..n_flits].iter().flatten().copied().collect();
         let body = &bytes[..n_flits * FLIT_BYTES - 8];
@@ -298,7 +327,11 @@ impl Packet {
         }
         let dll_field = u32::from_le_bytes(tail[4..8].try_into().expect("tail"));
         let payload = body[8..].to_vec();
-        Ok(Packet { header, payload, dll_field })
+        Ok(Packet {
+            header,
+            payload,
+            dll_field,
+        })
     }
 }
 
@@ -307,7 +340,14 @@ mod tests {
     use super::*;
 
     fn header() -> PacketHeader {
-        PacketHeader::new(DimmId(2), DimmId(13), DlCommand::WriteReq, 0x1234_5678, 0x42).unwrap()
+        PacketHeader::new(
+            DimmId(2),
+            DimmId(13),
+            DlCommand::WriteReq,
+            0x1234_5678,
+            0x42,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -318,10 +358,14 @@ mod tests {
             PacketHeader::new(DimmId(0), DimmId(0), DlCommand::ReadReq, 1u64 << 37, 0).is_err()
         );
         // 37-bit max address is fine.
-        assert!(
-            PacketHeader::new(DimmId(0), DimmId(0), DlCommand::ReadReq, (1u64 << 37) - 1, 0)
-                .is_ok()
-        );
+        assert!(PacketHeader::new(
+            DimmId(0),
+            DimmId(0),
+            DlCommand::ReadReq,
+            (1u64 << 37) - 1,
+            0
+        )
+        .is_ok());
     }
 
     #[test]

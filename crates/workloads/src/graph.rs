@@ -27,7 +27,11 @@ impl CsrGraph {
         }
         let targets = edges.iter().map(|e| e.1).collect();
         let weights = edges.iter().map(|e| e.2).collect();
-        CsrGraph { offsets, targets, weights }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Deterministic R-MAT (Kronecker) generator: `2^scale` vertices and
@@ -134,7 +138,9 @@ impl CsrGraph {
     /// The vertex with the largest out-degree (the canonical BFS/SSSP root
     /// for skewed graphs; deterministic).
     pub fn max_degree_vertex(&self) -> u32 {
-        (0..self.vertices()).max_by_key(|&v| self.degree(v)).unwrap_or(0)
+        (0..self.vertices())
+            .max_by_key(|&v| self.degree(v))
+            .unwrap_or(0)
     }
 }
 
@@ -146,7 +152,14 @@ mod tests {
     fn csr_from_edges_sorts_and_dedups() {
         let g = CsrGraph::from_edges(
             4,
-            vec![(1, 0, 5), (0, 2, 1), (0, 1, 2), (0, 1, 9), (2, 2, 1), (3, 9, 1)],
+            vec![
+                (1, 0, 5),
+                (0, 2, 1),
+                (0, 1, 2),
+                (0, 1, 9),
+                (2, 2, 1),
+                (3, 9, 1),
+            ],
         );
         assert_eq!(g.vertices(), 4);
         assert_eq!(g.edges(), 3); // dup (0,1), self-loop (2,2), oob (3,9) dropped

@@ -48,7 +48,8 @@ impl GraphCtx {
     fn new(params: &WorkloadParams, edge_factor: u32) -> Self {
         let threads = params.threads();
         let mut rng = DetRng::seed(params.seed).stream("graph");
-        let graph = CsrGraph::rmat_with_locality(params.scale, edge_factor, params.locality, &mut rng);
+        let graph =
+            CsrGraph::rmat_with_locality(params.scale, edge_factor, params.locality, &mut rng);
         let n = graph.vertices();
 
         // Edge-balanced contiguous blocks.
@@ -192,10 +193,16 @@ pub fn bfs(params: &WorkloadParams) -> Workload {
             for (u, _) in ctx.graph.neighbors(v) {
                 trace.comp(2);
                 // dist[] is shared read-write: uncacheable, possibly remote.
-                trace.push(Op::Load { addr: ctx.state_line(u), cacheable: false });
+                trace.push(Op::Load {
+                    addr: ctx.state_line(u),
+                    cacheable: false,
+                });
                 if dist[u as usize] == u32::MAX {
                     dist[u as usize] = dist[v as usize] + 1;
-                    trace.push(Op::Store { addr: ctx.state_line(u), cacheable: false });
+                    trace.push(Op::Store {
+                        addr: ctx.state_line(u),
+                        cacheable: false,
+                    });
                     next.push(u);
                 }
             }
@@ -218,17 +225,16 @@ pub fn pagerank(params: &WorkloadParams) -> Workload {
     for _iter in 0..ITERS {
         if params.broadcast {
             // Refresh every DIMM's replica of the rank vector.
-            for t in 0..ctx.threads {
-                ctx.emit_partition_broadcast(&mut traces[t], t);
+            for (t, trace) in traces.iter_mut().enumerate() {
+                ctx.emit_partition_broadcast(trace, t);
             }
             for trace in &mut traces {
                 trace.push(Op::Barrier);
             }
         }
-        for t in 0..ctx.threads {
+        for (t, trace) in traces.iter_mut().enumerate() {
             let home = ctx.home[t];
             for v in ctx.block[t]..ctx.block[t + 1] {
-                let trace = &mut traces[t];
                 trace.comp(4);
                 ctx.emit_row_loads(trace, v);
                 for (u, _) in ctx.graph.neighbors(v) {
@@ -240,11 +246,17 @@ pub fn pagerank(params: &WorkloadParams) -> Workload {
                             cacheable: true,
                         });
                     } else {
-                        trace.push(Op::Load { addr: ctx.state_line(u), cacheable: false });
+                        trace.push(Op::Load {
+                            addr: ctx.state_line(u),
+                            cacheable: false,
+                        });
                     }
                 }
                 trace.comp(6);
-                traces[t].push(Op::Store { addr: ctx.state_line(v), cacheable: false });
+                trace.push(Op::Store {
+                    addr: ctx.state_line(v),
+                    cacheable: false,
+                });
             }
         }
         for trace in &mut traces {
@@ -268,8 +280,8 @@ pub fn sssp(params: &WorkloadParams) -> Workload {
     dist[root as usize] = 0;
     for _round in 0..MAX_ROUNDS {
         if params.broadcast {
-            for t in 0..ctx.threads {
-                ctx.emit_partition_broadcast(&mut traces[t], t);
+            for (t, trace) in traces.iter_mut().enumerate() {
+                ctx.emit_partition_broadcast(trace, t);
             }
             for trace in &mut traces {
                 trace.push(Op::Barrier);
@@ -277,14 +289,16 @@ pub fn sssp(params: &WorkloadParams) -> Workload {
         }
         let mut changed = false;
         let snapshot = dist.clone();
-        for t in 0..ctx.threads {
+        for (t, trace) in traces.iter_mut().enumerate() {
             let home = ctx.home[t];
             for v in ctx.block[t]..ctx.block[t + 1] {
-                let trace = &mut traces[t];
                 trace.comp(2);
                 if snapshot[v as usize] == u64::MAX {
                     // Cheap local check of own distance.
-                    trace.push(Op::Load { addr: ctx.state_line(v), cacheable: false });
+                    trace.push(Op::Load {
+                        addr: ctx.state_line(v),
+                        cacheable: false,
+                    });
                     continue;
                 }
                 ctx.emit_row_loads(trace, v);
@@ -296,13 +310,19 @@ pub fn sssp(params: &WorkloadParams) -> Workload {
                             cacheable: true,
                         });
                     } else {
-                        trace.push(Op::Load { addr: ctx.state_line(u), cacheable: false });
+                        trace.push(Op::Load {
+                            addr: ctx.state_line(u),
+                            cacheable: false,
+                        });
                     }
                     let cand = snapshot[v as usize] + w as u64;
                     if cand < dist[u as usize] {
                         dist[u as usize] = cand;
                         changed = true;
-                        trace.push(Op::Store { addr: ctx.state_line(u), cacheable: false });
+                        trace.push(Op::Store {
+                            addr: ctx.state_line(u),
+                            cacheable: false,
+                        });
                     }
                 }
             }
@@ -325,30 +345,38 @@ pub fn spmv(params: &WorkloadParams) -> Workload {
     let mut traces = vec![ThreadTrace::new(); ctx.threads];
 
     if params.broadcast {
-        for t in 0..ctx.threads {
-            ctx.emit_partition_broadcast(&mut traces[t], t);
+        for (t, trace) in traces.iter_mut().enumerate() {
+            ctx.emit_partition_broadcast(trace, t);
         }
         for trace in &mut traces {
             trace.push(Op::Barrier);
         }
     }
-    for t in 0..ctx.threads {
+    for (t, trace) in traces.iter_mut().enumerate() {
         let home = ctx.home[t];
         for v in ctx.block[t]..ctx.block[t + 1] {
-            let trace = &mut traces[t];
             trace.comp(2);
             ctx.emit_row_loads(trace, v);
             for (u, _) in ctx.graph.neighbors(v) {
                 trace.comp(2);
                 if params.broadcast {
-                    trace.push(Op::Load { addr: ctx.replica_line(home, u), cacheable: true });
+                    trace.push(Op::Load {
+                        addr: ctx.replica_line(home, u),
+                        cacheable: true,
+                    });
                 } else {
                     // x is read-only: cacheable even when remote.
-                    trace.push(Op::Load { addr: ctx.state_line(u), cacheable: true });
+                    trace.push(Op::Load {
+                        addr: ctx.state_line(u),
+                        cacheable: true,
+                    });
                 }
             }
             trace.comp(4);
-            traces[t].push(Op::Store { addr: ctx.state_line(v), cacheable: false });
+            trace.push(Op::Store {
+                addr: ctx.state_line(v),
+                cacheable: false,
+            });
         }
     }
     for trace in &mut traces {
@@ -444,7 +472,15 @@ mod tests {
             .traces()
             .iter()
             .flat_map(|t| t.ops())
-            .filter(|o| matches!(o, Op::Load { cacheable: false, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    Op::Load {
+                        cacheable: false,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(uncached_loads, 0, "x is read-only and must be cacheable");
     }

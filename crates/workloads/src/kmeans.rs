@@ -57,15 +57,27 @@ pub fn kmeans(params: &WorkloadParams) -> Workload {
             // Snapshot the centroid table into the local scratch: K remote
             // uncacheable reads + local writes, once per iteration.
             for (k, c) in centroids.iter().enumerate() {
-                trace.push(Op::Load { addr: c.base(), cacheable: false });
-                trace.push(Op::Store { addr: scratch[t].line_of(k as u64, 64), cacheable: true });
+                trace.push(Op::Load {
+                    addr: c.base(),
+                    cacheable: false,
+                });
+                trace.push(Op::Store {
+                    addr: scratch[t].line_of(k as u64, 64),
+                    cacheable: true,
+                });
             }
             for p in 0..points_per_thread {
                 // Load the point (thread-private, cacheable, local).
-                trace.push(Op::Load { addr: points[t].line_of(p, 64), cacheable: true });
+                trace.push(Op::Load {
+                    addr: points[t].line_of(p, 64),
+                    cacheable: true,
+                });
                 // Scan the local snapshot.
                 for k in 0..K {
-                    trace.push(Op::Load { addr: scratch[t].line_of(k as u64, 64), cacheable: true });
+                    trace.push(Op::Load {
+                        addr: scratch[t].line_of(k as u64, 64),
+                        cacheable: true,
+                    });
                     trace.comp(DIMS * 2);
                 }
                 // Cluster reassignment updates the thread's *local* partial
@@ -89,9 +101,15 @@ pub fn kmeans(params: &WorkloadParams) -> Workload {
                 let d = home[t];
                 for (k, c) in centroids.iter().enumerate() {
                     if k % params.dimms == d {
-                        trace.push(Op::Load { addr: accums[k].base(), cacheable: false });
+                        trace.push(Op::Load {
+                            addr: accums[k].base(),
+                            cacheable: false,
+                        });
                         trace.comp(DIMS * 4);
-                        trace.push(Op::Store { addr: c.base(), cacheable: false });
+                        trace.push(Op::Store {
+                            addr: c.base(),
+                            cacheable: false,
+                        });
                     }
                 }
             }
@@ -117,7 +135,11 @@ mod tests {
     fn two_barriers_per_iteration() {
         let wl = kmeans(&WorkloadParams::small(2));
         for trace in wl.traces() {
-            let n = trace.ops().iter().filter(|o| matches!(o, Op::Barrier)).count();
+            let n = trace
+                .ops()
+                .iter()
+                .filter(|o| matches!(o, Op::Barrier))
+                .count();
             assert_eq!(n, 2 * ITERS);
         }
     }
@@ -143,7 +165,11 @@ mod tests {
         let layout = wl.layout();
         let mut dimms_touched = std::collections::HashSet::new();
         for op in wl.traces()[0].ops() {
-            if let Op::Load { addr, cacheable: false } = op {
+            if let Op::Load {
+                addr,
+                cacheable: false,
+            } = op
+            {
                 dimms_touched.insert(layout.dimm_of(*addr));
             }
         }

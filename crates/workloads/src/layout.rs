@@ -84,7 +84,10 @@ impl DataLayout {
     /// # Panics
     /// Panics if `dimms` is zero or exceeds the 5-bit DIMM id space (32).
     pub fn new(dimms: usize) -> Self {
-        assert!(dimms > 0 && dimms <= 32, "1..=32 DIMMs supported, got {dimms}");
+        assert!(
+            dimms > 0 && dimms <= 32,
+            "1..=32 DIMMs supported, got {dimms}"
+        );
         DataLayout {
             dimms,
             next_free: vec![0; dimms],

@@ -133,8 +133,11 @@ impl WorkloadKind {
     ];
 
     /// The three broadcast workloads of Fig. 12.
-    pub const BROADCAST_SET: [WorkloadKind; 3] =
-        [WorkloadKind::Pagerank, WorkloadKind::Sssp, WorkloadKind::Spmv];
+    pub const BROADCAST_SET: [WorkloadKind; 3] = [
+        WorkloadKind::Pagerank,
+        WorkloadKind::Sssp,
+        WorkloadKind::Spmv,
+    ];
 
     /// Short name as used in the paper's figures.
     pub fn short_name(self) -> &'static str {
@@ -237,7 +240,12 @@ mod tests {
             let counts: Vec<usize> = wl
                 .traces()
                 .iter()
-                .map(|t| t.ops().iter().filter(|op| matches!(op, Op::Barrier)).count())
+                .map(|t| {
+                    t.ops()
+                        .iter()
+                        .filter(|op| matches!(op, Op::Barrier))
+                        .count()
+                })
                 .collect();
             assert!(
                 counts.windows(2).all(|w| w[0] == w[1]),

@@ -47,12 +47,21 @@ pub fn hotspot(params: &WorkloadParams) -> Workload {
                 for cl in 0..side / PER_LINE {
                     let col = cl * PER_LINE;
                     // Centre line + vertical neighbours (shared rw).
-                    trace.push(Op::Load { addr: line_of(r, col), cacheable: false });
+                    trace.push(Op::Load {
+                        addr: line_of(r, col),
+                        cacheable: false,
+                    });
                     if r > 0 {
-                        trace.push(Op::Load { addr: line_of(r - 1, col), cacheable: false });
+                        trace.push(Op::Load {
+                            addr: line_of(r - 1, col),
+                            cacheable: false,
+                        });
                     }
                     if r + 1 < side {
-                        trace.push(Op::Load { addr: line_of(r + 1, col), cacheable: false });
+                        trace.push(Op::Load {
+                            addr: line_of(r + 1, col),
+                            cacheable: false,
+                        });
                     }
                     // Power is read-only.
                     let local = r - row0;
@@ -61,7 +70,10 @@ pub fn hotspot(params: &WorkloadParams) -> Workload {
                         cacheable: true,
                     });
                     trace.comp(PER_LINE as u32 * 6);
-                    trace.push(Op::Store { addr: line_of(r, col), cacheable: false });
+                    trace.push(Op::Store {
+                        addr: line_of(r, col),
+                        cacheable: false,
+                    });
                 }
             }
             trace.push(Op::Barrier);
@@ -115,7 +127,10 @@ pub fn needleman_wunsch(params: &WorkloadParams) -> Workload {
             let col0 = bcol * block;
 
             // Read the sequence slices (read-only, cacheable).
-            trace.push(Op::Load { addr: seq[t].base(), cacheable: true });
+            trace.push(Op::Load {
+                addr: seq[t].base(),
+                cacheable: true,
+            });
 
             // Top boundary row from the block above (remote when the
             // previous thread lives on another DIMM).
@@ -142,8 +157,14 @@ pub fn needleman_wunsch(params: &WorkloadParams) -> Workload {
                 for cl in 0..block / PER_LINE {
                     let col = col0 + cl * PER_LINE;
                     trace.comp(PER_LINE as u32 * 6);
-                    trace.push(Op::Load { addr: score_line(brow, r, col), cacheable: false });
-                    trace.push(Op::Store { addr: score_line(brow, r, col), cacheable: false });
+                    trace.push(Op::Load {
+                        addr: score_line(brow, r, col),
+                        cacheable: false,
+                    });
+                    trace.push(Op::Store {
+                        addr: score_line(brow, r, col),
+                        cacheable: false,
+                    });
                 }
             }
         }
@@ -170,7 +191,11 @@ mod tests {
     fn hotspot_barriers_per_iteration() {
         let wl = hotspot(&WorkloadParams::small(2));
         for trace in wl.traces() {
-            let n = trace.ops().iter().filter(|o| matches!(o, Op::Barrier)).count();
+            let n = trace
+                .ops()
+                .iter()
+                .filter(|o| matches!(o, Op::Barrier))
+                .count();
             assert_eq!(n, 4);
         }
     }
@@ -181,7 +206,11 @@ mod tests {
         let wl = needleman_wunsch(&params);
         let t = params.threads();
         for trace in wl.traces() {
-            let n = trace.ops().iter().filter(|o| matches!(o, Op::Barrier)).count();
+            let n = trace
+                .ops()
+                .iter()
+                .filter(|o| matches!(o, Op::Barrier))
+                .count();
             assert_eq!(n, 2 * t - 1);
         }
     }
@@ -201,7 +230,10 @@ mod tests {
                 _ => false,
             })
             .count();
-        assert!(remote_loads > 0, "thread 4 should read DIMM 0's boundary rows");
+        assert!(
+            remote_loads > 0,
+            "thread 4 should read DIMM 0's boundary rows"
+        );
     }
 
     #[test]
@@ -211,7 +243,15 @@ mod tests {
             .traces()
             .iter()
             .flat_map(|t| t.ops())
-            .filter(|o| matches!(o, Op::Load { cacheable: true, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    Op::Load {
+                        cacheable: true,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(cacheable > 0);
     }

@@ -20,7 +20,10 @@ pub fn sync_sweep(params: &WorkloadParams, interval_cycles: u32, rounds: usize) 
     for (t, trace) in traces.iter_mut().enumerate() {
         for r in 0..rounds {
             trace.comp(interval_cycles);
-            trace.push(Op::Load { addr: scratch[t].line_of(r as u64, 64), cacheable: true });
+            trace.push(Op::Load {
+                addr: scratch[t].line_of(r as u64, 64),
+                cacheable: true,
+            });
             trace.push(Op::Barrier);
         }
     }
@@ -50,8 +53,14 @@ pub fn bulk_copy(params: &WorkloadParams, bytes: u64) -> Workload {
         let t = d * params.threads_per_dimm; // first thread of the DIMM
         let trace = &mut traces[t];
         for l in 0..lines {
-            trace.push(Op::Load { addr: buffers[d + 1].line_of(l, 64), cacheable: false });
-            trace.push(Op::Store { addr: buffers[d].line_of(l, 64), cacheable: false });
+            trace.push(Op::Load {
+                addr: buffers[d + 1].line_of(l, 64),
+                cacheable: false,
+            });
+            trace.push(Op::Store {
+                addr: buffers[d].line_of(l, 64),
+                cacheable: false,
+            });
         }
     }
     for trace in &mut traces {
@@ -63,7 +72,11 @@ pub fn bulk_copy(params: &WorkloadParams, bytes: u64) -> Workload {
 /// Uniform random access microbench: each thread issues `ops_per_thread`
 /// uncacheable loads, a `remote_prob` fraction of them to a uniformly random
 /// other DIMM. Used by unit/integration tests and the Table I measurement.
-pub fn uniform_random(params: &WorkloadParams, ops_per_thread: usize, remote_prob: f64) -> Workload {
+pub fn uniform_random(
+    params: &WorkloadParams,
+    ops_per_thread: usize,
+    remote_prob: f64,
+) -> Workload {
     let threads = params.threads();
     let home: Vec<usize> = (0..threads).map(|t| t / params.threads_per_dimm).collect();
     let mut layout = DataLayout::new(params.dimms);
@@ -86,7 +99,10 @@ pub fn uniform_random(params: &WorkloadParams, ops_per_thread: usize, remote_pro
                 home[t]
             };
             let line = rng.below(buf_lines);
-            trace.push(Op::Load { addr: buffers[target].line_of(line, 64), cacheable: false });
+            trace.push(Op::Load {
+                addr: buffers[target].line_of(line, 64),
+                cacheable: false,
+            });
             trace.comp(2);
         }
         trace.push(Op::Barrier);
@@ -102,7 +118,11 @@ mod tests {
     fn sync_sweep_shape() {
         let wl = sync_sweep(&WorkloadParams::small(2), 500, 10);
         for trace in wl.traces() {
-            let barriers = trace.ops().iter().filter(|o| matches!(o, Op::Barrier)).count();
+            let barriers = trace
+                .ops()
+                .iter()
+                .filter(|o| matches!(o, Op::Barrier))
+                .count();
             assert_eq!(barriers, 10);
             let comp: u64 = trace
                 .ops()
@@ -131,7 +151,11 @@ mod tests {
             let h = wl.home_dimm()[t];
             for op in wl.traces()[t].ops() {
                 if let Op::Load { addr, .. } = op {
-                    assert_eq!(layout.dimm_of(*addr), h + 1, "loads pull from the next DIMM");
+                    assert_eq!(
+                        layout.dimm_of(*addr),
+                        h + 1,
+                        "loads pull from the next DIMM"
+                    );
                 }
             }
         }

@@ -51,9 +51,10 @@ impl Op {
     /// The address this op touches, if it is a memory operation.
     pub fn addr(&self) -> Option<u64> {
         match self {
-            Op::Load { addr, .. } | Op::Store { addr, .. } | Op::Atomic { addr } | Op::Broadcast { addr, .. } => {
-                Some(*addr)
-            }
+            Op::Load { addr, .. }
+            | Op::Store { addr, .. }
+            | Op::Atomic { addr }
+            | Op::Broadcast { addr, .. } => Some(*addr),
             _ => None,
         }
     }
@@ -107,7 +108,9 @@ impl ThreadTrace {
 
 impl FromIterator<Op> for ThreadTrace {
     fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
-        ThreadTrace { ops: iter.into_iter().collect() }
+        ThreadTrace {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -229,9 +232,23 @@ mod tests {
     fn op_addr_extraction() {
         assert_eq!(Op::Comp(3).addr(), None);
         assert_eq!(Op::Barrier.addr(), None);
-        assert_eq!(Op::Load { addr: 64, cacheable: true }.addr(), Some(64));
+        assert_eq!(
+            Op::Load {
+                addr: 64,
+                cacheable: true
+            }
+            .addr(),
+            Some(64)
+        );
         assert_eq!(Op::Atomic { addr: 128 }.addr(), Some(128));
-        assert_eq!(Op::Broadcast { addr: 0, bytes: 256 }.addr(), Some(0));
+        assert_eq!(
+            Op::Broadcast {
+                addr: 0,
+                bytes: 256
+            }
+            .addr(),
+            Some(0)
+        );
     }
 
     #[test]
@@ -240,8 +257,14 @@ mod tests {
         let a = layout.alloc(0, 4096);
         let b = layout.alloc(1, 4096);
         let mut t0 = ThreadTrace::new();
-        t0.push(Op::Load { addr: a.base(), cacheable: false }); // local
-        t0.push(Op::Load { addr: b.base(), cacheable: false }); // remote
+        t0.push(Op::Load {
+            addr: a.base(),
+            cacheable: false,
+        }); // local
+        t0.push(Op::Load {
+            addr: b.base(),
+            cacheable: false,
+        }); // remote
         let wl = Workload::new("x", vec![t0], layout, vec![0]);
         assert!((wl.remote_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(wl.total_mem_ops(), 2);

@@ -43,7 +43,10 @@ pub fn ts_pow(params: &WorkloadParams) -> Workload {
         for w in 0..windows {
             // Stream the window data (thread-private, cacheable).
             for l in 0..WINDOW_LINES {
-                trace.push(Op::Load { addr: series[t].line_of(w + l, 64), cacheable: true });
+                trace.push(Op::Load {
+                    addr: series[t].line_of(w + l, 64),
+                    cacheable: true,
+                });
             }
             trace.comp(WINDOW_LINES as u32 * 16);
 
@@ -53,9 +56,15 @@ pub fn ts_pow(params: &WorkloadParams) -> Workload {
                 // Lock, read-check-update, unlock: two atomics plus an
                 // uncacheable read-modify-write of the shared minimum.
                 trace.push(Op::Atomic { addr: lock.base() });
-                trace.push(Op::Load { addr: global_min.base(), cacheable: false });
+                trace.push(Op::Load {
+                    addr: global_min.base(),
+                    cacheable: false,
+                });
                 trace.comp(8);
-                trace.push(Op::Store { addr: global_min.base(), cacheable: false });
+                trace.push(Op::Store {
+                    addr: global_min.base(),
+                    cacheable: false,
+                });
                 trace.push(Op::Atomic { addr: lock.base() });
             }
         }
@@ -101,7 +110,11 @@ mod tests {
     fn one_final_barrier_per_thread() {
         let wl = ts_pow(&WorkloadParams::small(2));
         for trace in wl.traces() {
-            let n = trace.ops().iter().filter(|o| matches!(o, Op::Barrier)).count();
+            let n = trace
+                .ops()
+                .iter()
+                .filter(|o| matches!(o, Op::Barrier))
+                .count();
             assert_eq!(n, 1);
         }
     }

@@ -29,18 +29,28 @@ fn main() {
     println!("Broadcast-friendly vs broadcast-unfriendly workloads at 16D-8C\n");
 
     // PageRank, point-to-point formulation.
-    let p2p = WorkloadParams { scale, ..WorkloadParams::small(16) };
+    let p2p = WorkloadParams {
+        scale,
+        ..WorkloadParams::small(16)
+    };
     run_row("PR (P2P formulation)", &WorkloadKind::Pagerank.build(&p2p));
 
     // PageRank, explicit-broadcast formulation (replicas refreshed by
     // Broadcast ops) — where ABC-DIMM's channel broadcast shines and
     // DIMM-Link's tree broadcast shines brighter.
-    let bc = WorkloadParams { scale, broadcast: true, ..WorkloadParams::small(16) };
+    let bc = WorkloadParams {
+        scale,
+        broadcast: true,
+        ..WorkloadParams::small(16)
+    };
     run_row("PR-BC (broadcast)", &WorkloadKind::Pagerank.build(&bc));
 
     // K-Means: scattered point-to-point snapshots + atomics. Broadcasting
     // doesn't help it (the paper's "broadcast-unfriendly" class).
-    run_row("KM (broadcast-unfriendly)", &WorkloadKind::KMeans.build(&p2p));
+    run_row(
+        "KM (broadcast-unfriendly)",
+        &WorkloadKind::KMeans.build(&p2p),
+    );
 
     println!(
         "\nABC-DIMM only accelerates the broadcast-formulated workload; \

@@ -31,7 +31,11 @@ fn main() {
 
     // The same work on the NMP system under three IDC mechanisms.
     let base = SystemConfig::nmp(16, 8);
-    for idc in [IdcKind::CpuForwarding, IdcKind::DedicatedBus, IdcKind::DimmLink] {
+    for idc in [
+        IdcKind::CpuForwarding,
+        IdcKind::DedicatedBus,
+        IdcKind::DimmLink,
+    ] {
         let r = simulate(&workload, &base.clone().with_idc(idc));
         println!(
             "NMP + {:<18}: {} ({:.2}x vs host, {:.0}% cycles stalled on IDC)",

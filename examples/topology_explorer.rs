@@ -12,11 +12,17 @@ use dl_workloads::{WorkloadKind, WorkloadParams};
 
 fn main() {
     let scale = 11;
-    let params = WorkloadParams { scale, ..WorkloadParams::small(16) };
+    let params = WorkloadParams {
+        scale,
+        ..WorkloadParams::small(16)
+    };
     let wl = WorkloadKind::Pagerank.build(&params);
 
     println!("DL-group topology exploration (PR, 16D-8C)\n");
-    println!("{:>8} {:>10} {:>12} {:>10}", "topology", "diameter", "links/group", "speedup");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "topology", "diameter", "links/group", "speedup"
+    );
     let mut base = 0.0;
     for kind in [
         TopologyKind::Chain,

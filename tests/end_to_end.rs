@@ -64,7 +64,10 @@ fn traffic_conservation_remote_ops_mean_remote_bytes() {
             + r.stats.get("traffic.bus_bytes").unwrap();
         if remote > 0.0 {
             // Every remote operation puts at least one flit on some medium.
-            assert!(idc_bytes >= remote * 16.0, "{idc}: {idc_bytes} bytes for {remote} ops");
+            assert!(
+                idc_bytes >= remote * 16.0,
+                "{idc}: {idc_bytes} bytes for {remote} ops"
+            );
         }
     }
 }
@@ -74,12 +77,18 @@ fn mechanisms_route_on_their_own_media() {
     let params = small_params(8);
     let wl = WorkloadKind::Sssp.build(&params);
     // MCN: everything host-forwarded, nothing on links or bus.
-    let mcn = simulate(&wl, &SystemConfig::nmp(8, 4).with_idc(IdcKind::CpuForwarding));
+    let mcn = simulate(
+        &wl,
+        &SystemConfig::nmp(8, 4).with_idc(IdcKind::CpuForwarding),
+    );
     assert_eq!(mcn.stats.get("traffic.link_bytes"), Some(0.0));
     assert_eq!(mcn.stats.get("traffic.bus_bytes"), Some(0.0));
     assert!(mcn.stats.get("traffic.fwd_bytes").unwrap() > 0.0);
     // AIM: everything on the bus, no host forwarding.
-    let aim = simulate(&wl, &SystemConfig::nmp(8, 4).with_idc(IdcKind::DedicatedBus));
+    let aim = simulate(
+        &wl,
+        &SystemConfig::nmp(8, 4).with_idc(IdcKind::DedicatedBus),
+    );
     assert_eq!(aim.stats.get("traffic.fwd_bytes"), Some(0.0));
     assert!(aim.stats.get("traffic.bus_bytes").unwrap() > 0.0);
     assert_eq!(aim.stats.get("host.fwd_packets"), Some(0.0));
@@ -104,7 +113,11 @@ fn single_group_dimm_link_never_touches_the_host() {
 #[test]
 fn optimized_placement_never_deadlocks_and_profiles() {
     let params = small_params(8);
-    for kind in [WorkloadKind::Bfs, WorkloadKind::KMeans, WorkloadKind::Hotspot] {
+    for kind in [
+        WorkloadKind::Bfs,
+        WorkloadKind::KMeans,
+        WorkloadKind::Hotspot,
+    ] {
         let wl = kind.build(&params);
         let cfg = SystemConfig::nmp(8, 4).with_idc(IdcKind::DimmLink);
         let r = simulate_optimized(&wl, &cfg);
@@ -145,7 +158,10 @@ fn bigger_systems_do_not_slow_down_scalable_mechanisms() {
     // on an embarrassingly parallel workload of fixed total size (large
     // enough that per-thread fixed costs amortize).
     let kind = WorkloadKind::KMeans;
-    let params = |dimms| WorkloadParams { scale: 11, ..WorkloadParams::small(dimms) };
+    let params = |dimms| WorkloadParams {
+        scale: 11,
+        ..WorkloadParams::small(dimms)
+    };
     let t4 = {
         let wl = kind.build(&params(4));
         simulate(&wl, &SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink)).elapsed

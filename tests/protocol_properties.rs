@@ -112,7 +112,7 @@ proptest! {
         while tx.outstanding() > 0 {
             guard += 1;
             prop_assert!(guard < 100, "retry loop did not converge");
-            for p in wire.drain(..).collect::<Vec<_>>() {
+            for p in std::mem::take(&mut wire) {
                 attempt += 1;
                 let lost = (drop_mask >> (attempt % 16)) & 1 == 1 && attempt <= 16;
                 if lost {
@@ -128,7 +128,7 @@ proptest! {
                     }
                 }
             }
-            now = now + timeout;
+            now += timeout;
             for ev in tx.poll_timeouts(now) {
                 if let DllEvent::Transmit(p) = ev {
                     wire.push(p);

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the builder/group/bencher surface and the `criterion_group!` /
+//! `criterion_main!` macros so `cargo bench` compiles and runs, with a
+//! simple mean-of-samples timer instead of criterion's statistical engine.
+//! No HTML reports, no outlier analysis — one line per benchmark:
+//! `name  mean <t>  (<n> samples)`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites written against `criterion::black_box` work.
+pub use std::hint::black_box;
+
+/// Benchmark runner settings (a small subset of criterion's builder).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Caps the total time spent timing one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Caps the warm-up time before timing starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.clone(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing (optionally overridden) settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Criterion,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement-time cap for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Runs a benchmark inside the group (reported as `group/id`).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut settings = self.settings.clone();
+        run_one(&label, &mut settings, &mut f);
+        self
+    }
+
+    /// Closes the group (kept for API compatibility; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample, until the sample target or the
+    /// measurement-time cap is reached.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let run_start = Instant::now();
+        while self.samples.len() < self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if run_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, settings: &mut Criterion, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size: settings.sample_size,
+        measurement_time: settings.measurement_time,
+        warm_up_time: settings.warm_up_time,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let n = bencher.samples.len();
+    if n == 0 {
+        println!("{label:<40}  (no samples recorded)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / n as u32;
+    println!(
+        "{label:<40}  mean {:>12}  ({n} samples)",
+        fmt_duration(mean)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    let mut out = String::new();
+    if ns < 1_000 {
+        let _ = write!(out, "{ns} ns");
+    } else if ns < 1_000_000 {
+        let _ = write!(out, "{:.2} us", ns as f64 / 1e3);
+    } else if ns < 1_000_000_000 {
+        let _ = write!(out, "{:.2} ms", ns as f64 / 1e6);
+    } else {
+        let _ = write!(out, "{:.2} s", ns as f64 / 1e9);
+    }
+    out
+}
+
+/// Bundles benchmark functions into a named group runner. Supports both the
+/// positional form and the `name = .. ; config = .. ; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group! {
+        name = group_block_form;
+        config = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        targets = tiny
+    }
+
+    criterion_group!(group_positional, tiny);
+
+    #[test]
+    fn groups_run() {
+        group_block_form();
+        group_positional();
+    }
+
+    #[test]
+    fn group_overrides_apply() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function(format!("case_{}", 1), |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

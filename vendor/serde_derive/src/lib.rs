@@ -1,0 +1,502 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's [`Value`]-tree data model, parsing the item with a
+//! hand-rolled token walker (the real implementation's `syn`/`quote` stack is
+//! unavailable offline).
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * structs with named fields (plus `#[serde(transparent)]` and field-level
+//!   `#[serde(skip)]`),
+//! * tuple structs (newtypes serialize as their inner value, like serde),
+//! * enums with unit, tuple, and struct variants (externally tagged),
+//! * lifetime generics on `Serialize` items.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    generics: String,
+    transparent: bool,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Returns true if the attribute group body is `serde(...)` containing `word`.
+fn serde_attr_contains(group_tokens: &[TokenTree], word: &str) -> bool {
+    match group_tokens {
+        [TokenTree::Ident(head), TokenTree::Group(args)] if head.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == word)),
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes starting at `*i`; reports whether any
+/// was `#[serde(<word>)]` for each word queried.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize, words: &[&str]) -> Vec<bool> {
+    let mut found = vec![false; words.len()];
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        for (w, flag) in words.iter().zip(found.iter_mut()) {
+            if serde_attr_contains(&inner, w) {
+                *flag = true;
+            }
+        }
+        *i += 2;
+    }
+    found
+}
+
+fn eat_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&tokens[*i..], [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match &tokens[*i] {
+        TokenTree::Ident(id) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other}"),
+    }
+}
+
+/// Consumes `<...>` generics if present, returning their source text.
+fn eat_generics(tokens: &[TokenTree], i: &mut usize) -> String {
+    if !matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return String::new();
+    }
+    let mut depth = 0usize;
+    let mut text = String::new();
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        text.push_str(&tokens[*i].to_string());
+        *i += 1;
+        if depth == 0 {
+            break;
+        }
+    }
+    text
+}
+
+/// Parses `name: Type,` sequences inside a brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let flags = eat_attrs(tokens, &mut i, &["skip", "skip_serializing"]);
+        let skip = flags.iter().any(|&f| f);
+        if i >= tokens.len() {
+            break;
+        }
+        eat_visibility(tokens, &mut i);
+        let name = expect_ident(tokens, &mut i);
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field '{name}', found {other}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts the comma-separated types of a tuple struct/variant body.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        eat_attrs(tokens, &mut i, &[]);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(tokens, &mut i);
+        let mut fields = VariantFields::Unit;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            fields = match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantFields::Tuple(count_tuple_fields(&inner))
+                }
+                Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantFields::Named(parse_named_fields(&inner))
+                }
+                _ => panic!("serde_derive: unexpected variant delimiter"),
+            };
+            i += 1;
+        }
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let flags = eat_attrs(&tokens, &mut i, &["transparent"]);
+    let transparent = flags[0];
+    eat_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = eat_generics(&tokens, &mut i);
+    let data = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Data::NamedStruct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Data::TupleStruct(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Data::Enum(parse_variants(&inner))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for '{other}' items"),
+    };
+    Item {
+        name,
+        generics,
+        transparent,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let generics = &item.generics;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent {
+                let f = active
+                    .first()
+                    .unwrap_or_else(|| panic!("transparent struct {name} needs a field"));
+                format!("::serde::Serialize::to_content(&self.{})", f.name)
+            } else {
+                let mut s = String::from("let mut map = ::serde::Map::new();\n");
+                for f in &active {
+                    s.push_str(&format!(
+                        "map.insert(\"{0}\".to_string(), ::serde::Serialize::to_content(&self.{0}));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(map)");
+                s
+            }
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_content(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(\"{vn}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(map)\n}},\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binders: Vec<&str> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.as_str())
+                            .collect();
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for b in &binders {
+                            inner.push_str(&format!(
+                                "inner.insert(\"{b}\".to_string(), ::serde::Serialize::to_content({b}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} .. }} => {{\n{inner}\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(\"{vn}\".to_string(), ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(map)\n}},\n",
+                            binds = binders.iter().map(|b| format!("{b}, ")).collect::<String>()
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl {generics} ::serde::Serialize for {name} {generics} {{\n\
+         fn to_content(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    assert!(
+        item.generics.is_empty(),
+        "serde_derive (vendored): derive(Deserialize) does not support generics on {name}"
+    );
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let skipped: Vec<&Field> = fields.iter().filter(|f| f.skip).collect();
+            let defaults: String = skipped
+                .iter()
+                .map(|f| format!("{}: ::std::default::Default::default(),\n", f.name))
+                .collect();
+            if item.transparent {
+                let f = active
+                    .first()
+                    .unwrap_or_else(|| panic!("transparent struct {name} needs a field"));
+                format!(
+                    "::std::result::Result::Ok({name} {{\n\
+                     {fname}: ::serde::Deserialize::from_content(v)?,\n{defaults}}})",
+                    fname = f.name
+                )
+            } else {
+                let mut inits = String::new();
+                for f in &active {
+                    inits.push_str(&format!("{0}: ::serde::field(map, \"{0}\")?,\n", f.name));
+                }
+                format!(
+                    "let map = v.as_object().ok_or_else(|| ::serde::Error::msg(\
+                     \"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}{defaults}}})"
+                )
+            }
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let fields: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::msg(\
+                 \"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"wrong tuple length for {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({fields}))",
+                fields = fields.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantFields::Tuple(1) => data_arms.push_str(&format!(
+                        "if let ::std::option::Option::Some(inner) = map.get(\"{vn}\") {{\n\
+                         return ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_content(inner)?));\n}}\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let fields: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "if let ::std::option::Option::Some(inner) = map.get(\"{vn}\") {{\n\
+                             let items = inner.as_array().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected array for {name}::{vn}\"))?;\n\
+                             if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::msg(\
+                             \"wrong tuple length for {name}::{vn}\"));\n}}\n\
+                             return ::std::result::Result::Ok({name}::{vn}({fields}));\n}}\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::field(fields, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "if let ::std::option::Option::Some(inner) = map.get(\"{vn}\") {{\n\
+                             let fields = inner.as_object().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected object for {name}::{vn}\"))?;\n\
+                             return ::std::result::Result::Ok({name}::{vn} {{\n{inits}}});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown {name} variant '{{other}}'\"))),\n}},\n\
+                 ::serde::Value::Object(map) => {{\n{data_arms}\
+                 ::std::result::Result::Err(::serde::Error::msg(\
+                 \"unknown {name} variant object\"))\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected string or object for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! A thin facade over the vendored `serde` crate, whose data model is already
+//! a JSON [`Value`] tree: this crate adds the `to_string` / `to_string_pretty`
+//! / `from_str` / `from_slice` entry points and re-exports the value types
+//! under their `serde_json` names.
+
+pub use serde::{Map, Number, Value};
+
+/// Serialization/deserialization error (same type as the vendored serde's).
+pub type Error = serde::Error;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_content().to_json_compact())
+}
+
+/// Serializes `value` as pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_content().to_json_pretty())
+}
+
+/// Serializes `value` into a generic [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_content())
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    T::from_content(&serde::parse_json(text)?)
+}
+
+/// Parses JSON bytes into any deserializable type.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|_| Error::msg("input is not UTF-8"))?;
+    from_str(text)
+}
+
+/// Reconstructs a typed value from a generic [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::from_content(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_text() {
+        let v: Value = from_str(r#"{"x": [1, 2, 3], "y": "z"}"#).unwrap();
+        assert_eq!(v["x"][2].as_u64(), Some(3));
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Value = from_str(r#"{"a": {"b": [true, null]}}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_entry_points() {
+        let pairs = vec![(1u64, 0.5f64), (2, 1.5)];
+        let text = to_string(&pairs).unwrap();
+        assert_eq!(text, "[[1,0.5],[2,1.5]]");
+        let back: Vec<(u64, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, pairs);
+    }
+}
