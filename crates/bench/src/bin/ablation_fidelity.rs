@@ -2,16 +2,26 @@
 //!
 //! The big sweeps use the packet-level model (`PacketNet`); this ablation
 //! cross-checks it against the cycle-accurate flit-level router model
-//! (`FlitNet`) on the paper's chain topology, BookSim-style: same traffic
-//! in, latencies compared.
+//! (`FlitNet`), BookSim-style: same traffic in, latencies compared.
+//!
+//! Two parts:
+//! 1. the original curated chain-of-8 pattern table (human-readable
+//!    sanity check), and
+//! 2. the randomized differential suite from [`dl_bench::fidelity`] —
+//!    every topology × scale × pattern × seed — asserting the documented
+//!    error bounds and writing `target/sweeps/fidelity_diff.jsonl`.
+//!
+//! Exits non-zero if any case is outside the bound, so CI can gate on it.
 
 use dimm_link::runner::RunResult;
 use dimm_link::EnergyBreakdown;
+use dl_bench::fidelity::{self, FidelityReport};
 use dl_bench::sweep::Sweep;
 use dl_bench::{print_table, run_sweep, save_json, Args};
 use dl_engine::stats::StatSet;
 use dl_engine::Ps;
 use dl_noc::{FlitNet, FlitNetConfig, LinkParams, PacketNet, Topology, TopologyKind};
+use dl_protocol::FLIT_BYTES;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,6 +30,12 @@ struct Row {
     packet_level_ns: f64,
     flit_level_ns: f64,
     ratio: f64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    curated: Vec<Row>,
+    differential: FidelityReport,
 }
 
 const PACKET_FLITS: u32 = 17; // max-size packets
@@ -38,7 +54,7 @@ fn packet_makespan(pairs: &[(usize, usize)]) -> Ps {
     let mut pnet = PacketNet::new(&topo, LinkParams::grs_25gbps());
     let mut last = Ps::ZERO;
     for &(s, d) in pairs {
-        last = last.max(pnet.send(Ps::ZERO, s, d, PACKET_FLITS as u64 * 16));
+        last = last.max(pnet.send(Ps::ZERO, s, d, PACKET_FLITS as u64 * FLIT_BYTES as u64));
     }
     last
 }
@@ -56,8 +72,9 @@ fn flit_makespan(pairs: &[(usize, usize)]) -> Ps {
 
 fn main() {
     let args = Args::parse();
-    println!("Ablation: packet-level vs flit-level network model (chain of 8)");
+    println!("Ablation: packet-level vs flit-level network model");
 
+    // --- Part 1: curated chain-of-8 table ---------------------------------
     let patterns: Vec<(&str, Vec<(usize, usize)>)> = vec![
         ("single 1-hop", vec![(0, 1)]),
         ("single 7-hop", vec![(0, 7)]),
@@ -94,7 +111,7 @@ fn main() {
     let result = run_sweep(sweep, &args);
 
     let mut rows = Vec::new();
-    let mut out = Vec::new();
+    let mut curated = Vec::new();
     for (i, (name, _)) in patterns.iter().enumerate() {
         let p = result.records[2 * i].elapsed().as_ns_f64();
         let f = result.records[2 * i + 1].elapsed().as_ns_f64();
@@ -105,7 +122,7 @@ fn main() {
             format!("{f:.1}"),
             format!("{ratio:.2}"),
         ]);
-        out.push(Row {
+        curated.push(Row {
             pattern: name.to_string(),
             packet_level_ns: p,
             flit_level_ns: f,
@@ -117,5 +134,42 @@ fn main() {
         &["pattern", "packet-level (ns)", "flit-level (ns)", "ratio"],
         &rows,
     );
-    save_json("ablation_fidelity", &out);
+
+    // --- Part 2: randomized differential suite ----------------------------
+    let seeds = if args.quick { 2 } else { 5 };
+    let cases = fidelity::default_suite(seeds);
+    println!(
+        "\nDifferential suite: {} randomized cases (chain/ring/mesh/torus x \
+         3 scales x 4 patterns x {seeds} seeds)",
+        cases.len()
+    );
+    let diff = run_sweep(fidelity::build_sweep(&cases), &args);
+    let report = fidelity::evaluate(&diff.records);
+    println!(
+        "fidelity: {} cases, max rel err {:.3}, mean rel err {:.3}, {} violation(s)",
+        report.cases,
+        report.max_rel_err,
+        report.mean_rel_err,
+        report.violations.len()
+    );
+    for v in &report.violations {
+        println!(
+            "  OUT OF BOUND {}: packet {:.1} ns vs flit {:.1} ns (rel {:.3}, bw {:.3})",
+            v.label, v.packet_ns, v.flit_ns, v.rel_err, v.bw_rel_err
+        );
+    }
+
+    let pass = report.pass;
+    save_json(
+        "fidelity_summary",
+        &Summary {
+            curated,
+            differential: report,
+        },
+    );
+    if !pass {
+        eprintln!("fidelity differential suite FAILED (see fidelity_diff.jsonl)");
+        std::process::exit(1);
+    }
+    println!("fidelity differential suite PASSED");
 }

@@ -13,6 +13,7 @@
 //! cargo run --release -p dl-bench --bin fig10_p2p -- --scale 14
 //! ```
 
+pub mod fidelity;
 pub mod sweep;
 
 use dl_engine::stats::geomean;

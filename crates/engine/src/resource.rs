@@ -49,8 +49,16 @@ pub struct Resource {
     intervals: VecDeque<(Ps, Ps)>,
     /// Largest request time seen (drives pruning).
     high_water: Ps,
+    /// End of the latest busy interval ever pruned: the schedule before
+    /// this instant is forgotten, including its idle gaps.
+    pruned_until: Ps,
     busy: Ps,
     reservations: u64,
+    /// Reservations requested before [`Resource::pruned_until`]. The idle
+    /// gaps such a request could have filled are already discarded, so it
+    /// is scheduled pessimistically (possibly later than a perfect
+    /// schedule would allow). Always zero in a well-behaved simulation.
+    out_of_window: u64,
 }
 
 impl Resource {
@@ -60,8 +68,10 @@ impl Resource {
             name: name.into(),
             intervals: VecDeque::new(),
             high_water: Ps::ZERO,
+            pruned_until: Ps::ZERO,
             busy: Ps::ZERO,
             reservations: 0,
+            out_of_window: 0,
         }
     }
 
@@ -78,27 +88,87 @@ impl Resource {
         self.reservations += 1;
         self.high_water = self.high_water.max(now);
         self.prune();
+        self.check_window(now);
         if dur == Ps::ZERO {
             return (now, now);
         }
         // Find the first gap of length >= dur starting at or after `now`.
         let mut start = now;
-        let mut pos = self.intervals.len();
-        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+        for &(s, e) in self.intervals.iter() {
             if e <= start {
                 continue;
             }
             if s >= start + dur {
-                pos = i;
                 break;
             }
             start = e;
         }
         let end = start + dur;
-        // Insert and merge with neighbours.
-        // `pos` is the index before which [start, end) belongs.
-        let mut pos = pos.min(self.intervals.len());
-        // Walk back over intervals that now sit after `start`.
+        self.insert_interval(start, end);
+        (start, end)
+    }
+
+    /// Like [`reserve_with_start`](Resource::reserve_with_start), but the
+    /// occupancy may **split across idle gaps** instead of requiring one
+    /// contiguous slot: the work starts in the earliest idle instant at or
+    /// after `now` and fills forward, skipping already-reserved intervals,
+    /// until `dur` of idle time is consumed.
+    ///
+    /// Returns `(start_of_first_segment, end_of_last_segment)`.
+    ///
+    /// This models resources that time-multiplex at fine granularity
+    /// (flit-interleaved links with virtual-channel buffers): a short
+    /// transfer requested early is not forced to queue behind a long
+    /// reservation whose traffic arrives later, which is exactly how a
+    /// contiguous-slot model diverges from cycle-accurate wormhole routing
+    /// under contention.
+    pub fn reserve_split_with_start(&mut self, now: Ps, dur: Ps) -> (Ps, Ps) {
+        self.busy += dur;
+        self.reservations += 1;
+        self.high_water = self.high_water.max(now);
+        self.prune();
+        self.check_window(now);
+        if dur == Ps::ZERO {
+            return (now, now);
+        }
+        let mut remaining = dur;
+        let mut cursor = now;
+        let mut first_start: Option<Ps> = None;
+        let mut segments: Vec<(Ps, Ps)> = Vec::new();
+        let mut idx = 0;
+        while remaining > Ps::ZERO {
+            // Skip busy intervals entirely behind the cursor.
+            while idx < self.intervals.len() && self.intervals[idx].1 <= cursor {
+                idx += 1;
+            }
+            if idx < self.intervals.len() && self.intervals[idx].0 <= cursor {
+                // Cursor sits inside a busy interval: hop over it.
+                cursor = self.intervals[idx].1;
+                idx += 1;
+                continue;
+            }
+            let gap_end = if idx < self.intervals.len() {
+                self.intervals[idx].0
+            } else {
+                Ps::MAX
+            };
+            let take = remaining.min(gap_end.saturating_sub(cursor));
+            segments.push((cursor, cursor + take));
+            first_start.get_or_insert(cursor);
+            remaining = remaining.saturating_sub(take);
+            cursor = gap_end;
+        }
+        let end = segments.last().expect("dur > 0 yields a segment").1;
+        for (s, e) in segments {
+            self.insert_interval(s, e);
+        }
+        (first_start.unwrap_or(now), end)
+    }
+
+    /// Inserts busy interval `[start, end)`, merging with neighbours.
+    fn insert_interval(&mut self, start: Ps, end: Ps) {
+        let mut pos = self.intervals.partition_point(|&(s, _)| s < start);
+        // Walk back over intervals that touch `start`.
         while pos > 0 && self.intervals[pos - 1].1 >= start {
             pos -= 1;
         }
@@ -115,7 +185,6 @@ impl Resource {
             self.intervals.remove(pos);
         }
         self.intervals.insert(pos, (new_s, new_e));
-        (start, end)
     }
 
     fn prune(&mut self) {
@@ -123,9 +192,27 @@ impl Resource {
         while let Some(&(_, e)) = self.intervals.front() {
             if e < watermark && self.intervals.len() > 1 {
                 self.intervals.pop_front();
+                self.pruned_until = self.pruned_until.max(e);
             } else {
                 break;
             }
+        }
+    }
+
+    /// Contract check: a request predating the pruned schedule horizon may
+    /// have lost the idle gap it would have filled — the reservation is
+    /// still scheduled, but possibly later than the true gap-filling
+    /// schedule. Catch that loudly instead of silently.
+    fn check_window(&mut self, now: Ps) {
+        if now < self.pruned_until {
+            self.out_of_window += 1;
+            debug_assert!(
+                false,
+                "resource '{}': reservation requested at {now} predates the \
+                 pruned schedule horizon {} — idle gaps it could have filled \
+                 were already discarded, so it may be mis-scheduled",
+                self.name, self.pruned_until
+            );
         }
     }
 
@@ -148,6 +235,16 @@ impl Resource {
     /// Number of reservations made so far.
     pub fn reservations(&self) -> u64 {
         self.reservations
+    }
+
+    /// Reservations requested before the pruned schedule horizon (intervals
+    /// older than [`RETENTION`] relative to the high-water mark are
+    /// discarded together with the idle gaps around them). Non-zero means
+    /// some reservations may have been scheduled later than a perfect
+    /// gap-filling schedule would allow; debug builds additionally
+    /// `debug_assert!` on the first offence.
+    pub fn out_of_window(&self) -> u64 {
+        self.out_of_window
     }
 
     /// Fraction of `[0, total]` this resource was occupied.
@@ -241,6 +338,15 @@ impl BandwidthResource {
         self.inner.reserve_with_start(now, dur)
     }
 
+    /// Reserves for `bytes`, allowing the occupancy to split across idle
+    /// gaps (see [`Resource::reserve_split_with_start`]); returns
+    /// `(start_of_first_segment, end_of_last_segment)`.
+    pub fn transfer_split_with_start(&mut self, now: Ps, bytes: u64) -> (Ps, Ps) {
+        self.bytes_moved += bytes;
+        let dur = self.duration_of(bytes);
+        self.inner.reserve_split_with_start(now, dur)
+    }
+
     /// Occupies the resource for a fixed duration unrelated to bandwidth
     /// (e.g. a polling register read on a memory channel).
     pub fn occupy(&mut self, now: Ps, dur: Ps) -> Ps {
@@ -285,6 +391,11 @@ impl BandwidthResource {
     /// Number of reservations made so far.
     pub fn reservations(&self) -> u64 {
         self.inner.reservations()
+    }
+
+    /// See [`Resource::out_of_window`].
+    pub fn out_of_window(&self) -> u64 {
+        self.inner.out_of_window()
     }
 
     /// Diagnostic name.
@@ -417,8 +528,107 @@ mod tests {
     }
 
     #[test]
+    fn requests_inside_retention_window_are_in_contract() {
+        // The documented contract: a request exactly RETENTION behind the
+        // high-water mark is still in-window and schedules normally.
+        let mut r = Resource::new("r");
+        let far = Ps::from_us(200);
+        r.reserve(far, Ps::from_ns(10));
+        let edge = far.saturating_sub(RETENTION);
+        let end = r.reserve(edge, Ps::from_ns(10));
+        assert_eq!(end, edge + Ps::from_ns(10), "in-window gap fill");
+        assert_eq!(r.out_of_window(), 0);
+    }
+
+    #[test]
+    fn late_requests_without_pruning_are_in_contract() {
+        // Regression: a request far behind the high-water mark is fine as
+        // long as nothing has been pruned — the full schedule (and its
+        // gaps) is still known. The AIM dedicated bus hits this: one long
+        // transfer pushes the high-water mark out, and the next request
+        // still arrives at t=0.
+        let mut r = Resource::new("aim-bus");
+        r.reserve(Ps::ZERO, Ps::from_us(120));
+        let end = r.reserve(Ps::ZERO, Ps::from_ns(10));
+        assert_eq!(end, Ps::from_us(120) + Ps::from_ns(10));
+        assert_eq!(r.out_of_window(), 0);
+    }
+
+    // Requests predating the pruned schedule horizon violate the contract:
+    // the gap they would fill is already discarded. Debug builds assert;
+    // release builds count (telemetry for long sweeps).
+    fn prune_then_request_before_horizon(r: &mut Resource) {
+        r.reserve(Ps::ZERO, Ps::from_ns(10));
+        r.reserve(Ps::from_us(200), Ps::from_ns(10));
+        // This call's prune discards [0, 10 ns) — then the request at 5 ns
+        // lands before the pruned horizon.
+        let _ = r.reserve(Ps::from_ns(5), Ps::from_ns(10));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "pruned schedule horizon")]
+    fn out_of_window_request_asserts_in_debug() {
+        let mut r = Resource::new("r");
+        prune_then_request_before_horizon(&mut r);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn out_of_window_request_is_counted_in_release() {
+        let mut r = Resource::new("r");
+        prune_then_request_before_horizon(&mut r);
+        assert_eq!(r.out_of_window(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "non-zero")]
     fn zero_bandwidth_panics() {
         let _ = BandwidthResource::new("z", 0);
+    }
+
+    #[test]
+    fn split_reservation_matches_contiguous_when_uncontended() {
+        let mut a = Resource::new("a");
+        let mut b = Resource::new("b");
+        let plain = a.reserve_with_start(Ps::from_ns(3), Ps::from_ns(10));
+        let split = b.reserve_split_with_start(Ps::from_ns(3), Ps::from_ns(10));
+        assert_eq!(plain, split);
+        assert_eq!(a.busy_time(), b.busy_time());
+    }
+
+    #[test]
+    fn split_reservation_uses_gap_too_small_for_contiguous() {
+        // A 10 ns transfer requested at t=0 against a busy window [6, 20):
+        // contiguous scheduling must wait until 20; split scheduling starts
+        // at 0, runs 6 ns, and finishes the remaining 4 ns after 20.
+        let mut r = Resource::new("r");
+        r.reserve(Ps::from_ns(6), Ps::from_ns(14));
+        let (start, end) = r.reserve_split_with_start(Ps::ZERO, Ps::from_ns(10));
+        assert_eq!(start, Ps::ZERO);
+        assert_eq!(end, Ps::from_ns(24));
+        // Occupancy is conserved: [0, 24) is now fully busy.
+        assert_eq!(r.free_at(), Ps::from_ns(24));
+        assert_eq!(r.busy_time(), Ps::from_ns(24));
+    }
+
+    #[test]
+    fn split_reservation_spans_multiple_gaps() {
+        let mut r = Resource::new("r");
+        r.reserve(Ps::from_ns(2), Ps::from_ns(2)); // busy [2, 4)
+        r.reserve(Ps::from_ns(6), Ps::from_ns(2)); // busy [6, 8)
+                                                   // 7 ns of work from t=0: gaps [0,2) + [4,6) + [8, 11).
+        let (start, end) = r.reserve_split_with_start(Ps::ZERO, Ps::from_ns(7));
+        assert_eq!(start, Ps::ZERO);
+        assert_eq!(end, Ps::from_ns(11));
+        assert_eq!(r.free_at(), Ps::from_ns(11));
+    }
+
+    #[test]
+    fn split_reservation_zero_duration_is_noop() {
+        let mut r = Resource::new("r");
+        let (s, e) = r.reserve_split_with_start(Ps::from_ns(5), Ps::ZERO);
+        assert_eq!((s, e), (Ps::from_ns(5), Ps::from_ns(5)));
+        assert_eq!(r.free_at(), Ps::ZERO);
     }
 }

@@ -8,16 +8,17 @@
 //! (see the `ablation_fidelity` bench).
 //!
 //! Deadlock freedom: single-VC wormhole routing is safe only for acyclic
-//! channel dependency graphs (the chain topology the shipping DIMM-Link
-//! design uses). For the **ring** alternative of Section VI, configure two
-//! virtual channels: packets start on VC 0 and switch to VC 1 after
-//! crossing the dateline (the wrap-around link), which breaks the channel
-//! dependency cycle in the classical way. A watchdog in
+//! channel dependency graphs (the chain and mesh topologies). For the
+//! **ring** and **torus** alternatives of Section VI, configure two virtual
+//! channels: packets start on VC 0 and switch to VC 1 after crossing a
+//! dateline (any wrap-around link, see [`Topology::is_wrap_link`]), which
+//! breaks the channel dependency cycle in the classical way. A watchdog in
 //! [`FlitNet::run_until_idle`] turns any remaining deadlock into a panic
 //! rather than a hang.
 
 use crate::topology::{LinkId, Topology, TopologyKind};
 use dl_engine::Ps;
+use dl_protocol::FLIT_BYTES;
 use std::collections::VecDeque;
 
 /// Configuration for the flit-level model.
@@ -46,7 +47,7 @@ impl FlitNetConfig {
             // Deep enough to cover the credit round trip over the 13-cycle
             // wire pipeline, so a link can sustain one flit per cycle.
             buffer_depth: 24,
-            flit_bytes: 16,
+            flit_bytes: FLIT_BYTES as u32,
             cycle_time: Ps::from_ps(640),
             pipeline_per_hop: 13,
             vcs: 1,
@@ -60,7 +61,22 @@ impl FlitNetConfig {
             ..Self::grs_25gbps()
         }
     }
+
+    /// The deadlock-safe configuration for `kind`: two virtual channels
+    /// with dateline switching where wrap links close dependency cycles
+    /// (ring, torus), one VC otherwise (chain, mesh).
+    pub fn for_topology(kind: TopologyKind) -> Self {
+        match kind {
+            TopologyKind::Chain | TopologyKind::Mesh => Self::grs_25gbps(),
+            TopologyKind::Ring | TopologyKind::Torus => Self::grs_25gbps_ring(),
+        }
+    }
 }
+
+/// Handle to an injected packet, used to chain dependent injections
+/// (see [`FlitNet::inject_after`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRef(usize);
 
 #[derive(Debug, Clone, Copy)]
 struct FlitTag {
@@ -71,6 +87,7 @@ struct FlitTag {
 #[derive(Debug)]
 struct PacketState {
     id: u64,
+    src: usize,
     dst: usize,
     /// `next_link[node]` = outgoing link towards dst, `None` at dst.
     next_link: Vec<Option<LinkId>>,
@@ -79,6 +96,11 @@ struct PacketState {
     flits_total: u32,
     flits_ejected: u32,
     injected_at: u64,
+    /// Chained packets this one feeds (cut-through forwarding): each flit
+    /// ejected here releases one flit of every child.
+    feeds: Vec<usize>,
+    /// Flits not yet placed in the injection queue (chained packets only).
+    unreleased: u32,
 }
 
 impl PacketState {
@@ -124,6 +146,8 @@ struct OutPort {
 pub struct Delivery {
     /// Caller-visible packet id.
     pub id: u64,
+    /// Destination node the tail flit was ejected at.
+    pub dst: usize,
     /// Cycle the tail flit was ejected.
     pub cycle: u64,
     /// Latency in cycles from injection to tail ejection.
@@ -151,7 +175,10 @@ pub struct FlitNet {
     links: Vec<LinkState>,
     /// Per node: incoming link ids.
     in_links: Vec<Vec<LinkId>>,
-    /// Per node: injection queue of flits.
+    /// Per *output link*: injection queue of locally-sourced flits. Keyed
+    /// by the packet's first route link so that same-source packets headed
+    /// out different links inject in parallel, matching [`crate::PacketNet`]
+    /// (a single per-node queue would serialize them).
     inject_q: Vec<VecDeque<FlitTag>>,
     out_ports: Vec<OutPort>,
     packets: Vec<PacketState>,
@@ -196,7 +223,7 @@ impl FlitNet {
             cfg,
             links,
             in_links,
-            inject_q: vec![VecDeque::new(); n],
+            inject_q: vec![VecDeque::new(); topo.link_count()],
             out_ports,
             packets: Vec::new(),
             cycle: 0,
@@ -205,51 +232,130 @@ impl FlitNet {
         }
     }
 
-    /// Queues a packet of `flits` flits for injection at `src`.
+    /// Queues a packet of `flits` flits for injection at `src`. Returns a
+    /// handle for chaining (see [`inject_after`](Self::inject_after)).
     ///
-    /// With multiple VCs and a ring topology, the packet is assigned VC 0
-    /// until its route crosses the dateline (the wrap link between the
-    /// highest-numbered node and node 0), and VC 1 afterwards.
+    /// With multiple VCs, the packet is assigned VC 0 until its route
+    /// crosses a dateline (any wrap-around link per
+    /// [`Topology::is_wrap_link`]), and VC 1 afterwards.
     ///
     /// # Panics
     /// Panics if `src == dst`, a node is out of range, or `flits == 0`.
-    pub fn inject(&mut self, id: u64, src: usize, dst: usize, flits: u32) {
+    pub fn inject(&mut self, id: u64, src: usize, dst: usize, flits: u32) -> PacketRef {
+        let pkt = self.new_packet(id, src, dst, flits);
+        self.release_chained(pkt, flits);
+        PacketRef(pkt)
+    }
+
+    /// Queues a packet whose flits are released by `parent`'s ejections at
+    /// `src` — cut-through forwarding: each parent flit ejected frees one
+    /// flit of this packet, so a broadcast relay starts forwarding as soon
+    /// as the head arrives rather than store-and-forwarding whole packets.
+    ///
+    /// # Panics
+    /// Panics like [`inject`](Self::inject), or if `src` is not the
+    /// parent's destination, or the parent already finished ejecting.
+    pub fn inject_after(
+        &mut self,
+        id: u64,
+        src: usize,
+        dst: usize,
+        flits: u32,
+        parent: PacketRef,
+    ) -> PacketRef {
+        let pkt = self.new_packet(id, src, dst, flits);
+        let p = &self.packets[parent.0];
+        assert_eq!(p.dst, src, "chained packet must start where parent ends");
+        // Credit the child with whatever the parent already ejected.
+        let already = p.flits_ejected;
+        assert!(
+            already < p.flits_total,
+            "parent fully ejected; use inject instead"
+        );
+        self.packets[parent.0].feeds.push(pkt);
+        if already > 0 {
+            self.release_chained(pkt, already);
+        }
+        PacketRef(pkt)
+    }
+
+    /// Broadcasts a packet from `src` over the BFS tree (the same tree
+    /// [`crate::PacketNet::broadcast`] uses), forwarding cut-through at
+    /// every relay. Every copy carries `id`; deliveries are distinguished
+    /// by [`Delivery::dst`].
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range or `flits == 0`.
+    pub fn inject_broadcast(&mut self, id: u64, src: usize, flits: u32) {
+        let mut refs: Vec<Option<PacketRef>> = vec![None; self.topo.len()];
+        for (parent, child, _) in self.topo.broadcast_tree(src) {
+            let r = if parent == src {
+                self.inject(id, src, child, flits)
+            } else {
+                let pref = refs[parent].expect("BFS order visits parent first");
+                self.inject_after(id, parent, child, flits, pref)
+            };
+            refs[child] = Some(r);
+        }
+    }
+
+    fn new_packet(&mut self, id: u64, src: usize, dst: usize, flits: u32) -> usize {
         assert_ne!(src, dst, "self-injection is not a network transfer");
         assert!(flits > 0, "empty packet");
         let mut next_link = vec![None; self.topo.len()];
         let mut vc_on_link = vec![0u8; self.topo.link_count()];
         let mut cur = src;
         let mut vc = 0u8;
-        let n = self.topo.len();
         for l in self.topo.route(src, dst) {
             next_link[cur] = Some(l);
-            let (from, to) = self.topo.endpoints(l);
-            // Dateline rule (rings): crossing the wrap link bumps the VC.
-            let crosses_dateline = matches!(self.topo.kind(), TopologyKind::Ring)
-                && ((from == n - 1 && to == 0) || (from == 0 && to == n - 1));
             vc_on_link[l.0] = vc;
-            if crosses_dateline && self.cfg.vcs > 1 {
+            // Dateline rule: crossing any wrap link bumps the VC, breaking
+            // the ring/torus channel dependency cycle.
+            if self.cfg.vcs > 1 && self.topo.is_wrap_link(l) {
                 vc = 1;
             }
-            cur = to;
+            cur = self.topo.endpoints(l).1;
         }
         let pkt = self.packets.len();
         self.packets.push(PacketState {
             id,
+            src,
             dst,
             next_link,
             vc_on_link,
             flits_total: flits,
             flits_ejected: 0,
             injected_at: self.cycle,
+            feeds: Vec::new(),
+            unreleased: flits,
         });
-        for i in 0..flits {
-            self.inject_q[src].push_back(FlitTag {
+        self.in_flight += 1;
+        pkt
+    }
+
+    /// Moves up to `count` of `pkt`'s unreleased flits into the injection
+    /// queue of its first route link.
+    fn release_chained(&mut self, pkt: usize, count: u32) {
+        let p = &mut self.packets[pkt];
+        let n = count.min(p.unreleased);
+        if n == 0 {
+            return;
+        }
+        if p.unreleased == p.flits_total {
+            // First release: latency is measured from here for chained
+            // packets (their data only exists at the relay from now on).
+            p.injected_at = self.cycle;
+        }
+        let first = p.flits_total - p.unreleased;
+        p.unreleased -= n;
+        let total = p.flits_total;
+        let link = p.next_link[p.src].expect("src != dst so a first link exists");
+        for i in first..first + n {
+            self.inject_q[link.0].push_back(FlitTag {
                 pkt,
-                is_tail: i + 1 == flits,
+                is_tail: i + 1 == total,
             });
         }
-        self.in_flight += 1;
     }
 
     /// Advances one cycle.
@@ -310,7 +416,7 @@ impl FlitNet {
                 {
                     continue;
                 }
-                let tag = self.pop_input(from, input);
+                let tag = self.pop_input(from, input, LinkId(out));
                 self.links[out].vcs[ovc].credits -= 1;
                 let arrive = self.cycle + self.cfg.pipeline_per_hop;
                 self.links[out].staged.push((tag, arrive, ovc));
@@ -353,11 +459,12 @@ impl FlitNet {
         v
     }
 
-    /// Whether `input`'s head flit wants `(out, out_vc)`.
+    /// Whether `input`'s head flit wants `(out, out_vc)`. The injection
+    /// input of output `out` reads that link's own injection queue.
     fn head_requests(&self, node: usize, input: InputRef, out: LinkId, out_vc: usize) -> bool {
         let head = match input.link {
             Some(lid) => self.links[lid.0].vcs[input.vc].buf.front().copied(),
-            None => self.inject_q[node].front().copied(),
+            None => self.inject_q[out.0].front().copied(),
         };
         match head {
             Some(tag) => {
@@ -368,23 +475,34 @@ impl FlitNet {
         }
     }
 
-    fn pop_input(&mut self, node: usize, input: InputRef) -> FlitTag {
+    fn pop_input(&mut self, _node: usize, input: InputRef, out: LinkId) -> FlitTag {
         match input.link {
             Some(lid) => self.links[lid.0].vcs[input.vc]
                 .buf
                 .pop_front()
                 .expect("arbitrated head"),
-            None => self.inject_q[node].pop_front().expect("arbitrated head"),
+            None => self.inject_q[out.0].pop_front().expect("arbitrated head"),
         }
     }
 
     fn finish_flit(&mut self, tag: FlitTag) {
+        // Cut-through forwarding: every ejected flit releases one flit of
+        // each chained child; the tail releases any remainder.
+        let feeds = std::mem::take(&mut self.packets[tag.pkt].feeds);
+        for &child in &feeds {
+            let n = if tag.is_tail { u32::MAX } else { 1 };
+            self.release_chained(child, n);
+        }
+        if !tag.is_tail {
+            self.packets[tag.pkt].feeds = feeds;
+        }
         let p = &mut self.packets[tag.pkt];
         p.flits_ejected += 1;
         if tag.is_tail {
             debug_assert_eq!(p.flits_ejected, p.flits_total);
             self.delivered.push(Delivery {
                 id: p.id,
+                dst: p.dst,
                 cycle: self.cycle,
                 latency_cycles: self.cycle - p.injected_at,
             });
@@ -595,6 +713,94 @@ mod tests {
         line.inject(1, 0, 7, 8);
         let chain_done = line.run_until_idle(100_000);
         assert!(ring_done[0].latency_cycles * 3 < chain_done[0].latency_cycles);
+    }
+
+    #[test]
+    fn same_source_different_links_inject_in_parallel() {
+        // Node 1 in a 3-chain sends left and right simultaneously; with
+        // per-output-link injection queues neither waits for the other
+        // (matching PacketNet's per-link bandwidth model).
+        let mut net = chain(3);
+        net.inject(1, 1, 0, 16);
+        net.inject(2, 1, 2, 16);
+        let done = net.run_until_idle(10_000);
+        let cycles: Vec<u64> = done.iter().map(|d| d.cycle).collect();
+        assert!(
+            cycles[0].abs_diff(cycles[1]) <= 1,
+            "left {} vs right {} should overlap",
+            cycles[0],
+            cycles[1]
+        );
+    }
+
+    #[test]
+    fn torus_with_two_vcs_survives_all_to_all() {
+        // The torus wraps both dimensions; the generalized dateline rule
+        // must keep heavy all-to-all traffic deadlock-free.
+        let topo = Topology::new(TopologyKind::Torus, 16);
+        let mut net = FlitNet::new(&topo, FlitNetConfig::for_topology(TopologyKind::Torus));
+        let mut id = 0u64;
+        for s in 0..16usize {
+            for d in 0..16usize {
+                if s != d {
+                    net.inject(id, s, d, 8);
+                    id += 1;
+                }
+            }
+        }
+        let done = net.run_until_idle(10_000_000);
+        assert_eq!(done.len(), 240);
+    }
+
+    #[test]
+    fn torus_wrap_route_uses_second_vc() {
+        let topo = Topology::new(TopologyKind::Torus, 16); // 4 x 4
+        let mut net = FlitNet::new(&topo, FlitNetConfig::for_topology(TopologyKind::Torus));
+        // 3 -> 0 in row 0: shortest path is the row wrap 3->0.
+        net.inject(1, 3, 12, 4); // column wrap: 3 -> 15? route depends; use a wrap pair
+        let crossed: bool = net.vc_plan_of(0).contains(&1)
+            || topo.route(3, 12).iter().any(|&l| topo.is_wrap_link(l));
+        assert!(crossed, "route avoided every wrap link unexpectedly");
+        let done = net.run_until_idle(100_000);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_node_cut_through() {
+        for kind in [
+            TopologyKind::Chain,
+            TopologyKind::Ring,
+            TopologyKind::Mesh,
+            TopologyKind::Torus,
+        ] {
+            let topo = Topology::new(kind, 9);
+            let mut net = FlitNet::new(&topo, FlitNetConfig::for_topology(kind));
+            net.inject_broadcast(7, 0, 8);
+            let done = net.run_until_idle(1_000_000);
+            assert_eq!(done.len(), 8, "{kind}: one delivery per non-source");
+            let mut dsts: Vec<usize> = done.iter().map(|d| d.dst).collect();
+            dsts.sort_unstable();
+            assert_eq!(dsts, (1..9).collect::<Vec<usize>>(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn chained_relay_is_cut_through_not_store_and_forward() {
+        // Broadcast down a 4-chain: the tail reaches node 3 well before
+        // 3 full store-and-forward serializations of a long packet.
+        let flits = 16u32;
+        let cfg = FlitNetConfig::grs_25gbps();
+        let mut net = chain(4);
+        net.inject_broadcast(1, 0, flits);
+        let done = net.run_until_idle(1_000_000);
+        let last = done.iter().find(|d| d.dst == 3).unwrap();
+        let store_forward = 3 * (flits as u64 + cfg.pipeline_per_hop);
+        assert!(
+            last.cycle < store_forward,
+            "cycle {} not cut-through (store-and-forward bound {})",
+            last.cycle,
+            store_forward
+        );
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod flitnet;
 pub mod packetnet;
 pub mod topology;
 
-pub use flitnet::{FlitNet, FlitNetConfig};
+pub use flitnet::{Delivery, FlitNet, FlitNetConfig, PacketRef};
 pub use packetnet::{LinkParams, PacketNet};
 pub use topology::{LinkId, Topology, TopologyKind};

@@ -4,7 +4,14 @@
 use crate::topology::Topology;
 use dl_engine::stats::StatSet;
 use dl_engine::{BandwidthResource, Ps};
+use dl_protocol::FLIT_BYTES;
 use serde::{Deserialize, Serialize};
+
+/// Head-flit size on the wire: the smaller of one protocol flit
+/// ([`dl_protocol::FLIT_BYTES`]) and the whole message.
+fn head_flit_bytes(bytes: u64) -> u64 {
+    (FLIT_BYTES as u64).min(bytes)
+}
 
 /// Physical parameters of one unidirectional SerDes link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,12 +47,21 @@ impl LinkParams {
 
 /// Event-driven packet-granularity network over a [`Topology`].
 ///
-/// Each unidirectional link is a FIFO [`BandwidthResource`]; a transfer
-/// reserves every link of its deterministic shortest route in order
-/// (store-and-forward), so both serialization delay and congestion queueing
-/// are modelled. Concurrent transfers on disjoint links proceed in parallel,
-/// which is exactly the property that lets DIMM-Link's aggregate bandwidth
-/// scale with the link count (paper Table I: `#Link × β`).
+/// Each unidirectional link is a [`BandwidthResource`]; a transfer reserves
+/// every link of its deterministic shortest route in order, so both
+/// serialization delay and congestion queueing are modelled. Concurrent
+/// transfers on disjoint links proceed in parallel, which is exactly the
+/// property that lets DIMM-Link's aggregate bandwidth scale with the link
+/// count (paper Table I: `#Link × β`).
+///
+/// Link occupancy may **split across idle gaps**
+/// ([`BandwidthResource::transfer_split_with_start`]): a packet's bytes fill
+/// whatever idle time the link has from its arrival onward, interleaving
+/// with reservations made by earlier `send` calls whose traffic reaches the
+/// link later. This mirrors flit-granular wormhole arbitration through the
+/// DL-buffers — a contiguous-slot model instead inherits the *call order*
+/// of `send` as a priority order, which the cycle-accurate cross-check
+/// ([`crate::FlitNet`]) shows to be pessimistic under contention.
 ///
 /// # Examples
 ///
@@ -104,18 +120,20 @@ impl PacketNet {
         self.packets_sent += 1;
         let route = self.topo.route(src, dst);
         self.total_hops += route.len() as u64;
-        let flit_time = self.links[route[0].0].duration_of(16.min(bytes));
+        let flit_time = self.links[route[0].0].duration_of(head_flit_bytes(bytes));
         let mut head = now;
         let mut tail = now;
         for (i, link) in route.iter().enumerate() {
-            let (start, end) = self.links[link.0].transfer_with_start(head, bytes);
+            let (start, end) = self.links[link.0].transfer_split_with_start(head, bytes);
             // Head flit moves on after one flit time + wire/router latency;
-            // the tail follows the full serialization.
+            // the tail follows the full serialization. The tail only ever
+            // moves later: a downstream link that happens to have early idle
+            // gaps cannot finish before an upstream one.
             head = start + flit_time + self.params.hop_latency;
             if i + 1 < route.len() {
                 head += self.params.router_latency;
             }
-            tail = end + self.params.hop_latency;
+            tail = tail.max(end + self.params.hop_latency);
         }
         tail.max(head)
     }
@@ -130,13 +148,19 @@ impl PacketNet {
         let flit_time = if self.links.is_empty() {
             Ps::ZERO
         } else {
-            self.links[0].duration_of(16.min(bytes))
+            self.links[0].duration_of(head_flit_bytes(bytes))
         };
         let mut heads = vec![Ps::MAX; self.topo.len()];
         heads[src] = now;
         for (parent, child, link) in self.topo.broadcast_tree(src) {
-            let launch = heads[parent] + self.params.router_latency;
-            let (start, end) = self.links[link.0].transfer_with_start(launch, bytes);
+            // Router pipeline latency only at intermediate routers, matching
+            // `send`: the source injects directly, forwarders pay the router.
+            let launch = if parent == src {
+                heads[parent]
+            } else {
+                heads[parent] + self.params.router_latency
+            };
+            let (start, end) = self.links[link.0].transfer_split_with_start(launch, bytes);
             heads[child] = start + flit_time + self.params.hop_latency;
             arrivals[child] = (end + self.params.hop_latency).max(heads[child]);
             self.total_hops += 1;
@@ -195,7 +219,7 @@ impl PacketNet {
     /// Head-flit time for a packet of `bytes` (test helper).
     #[doc(hidden)]
     pub fn links_flit_time(&self, bytes: u64) -> Ps {
-        self.links[0].duration_of(16.min(bytes))
+        self.links[0].duration_of(head_flit_bytes(bytes))
     }
 
     /// Clears byte/occupancy accounting (schedule state is preserved).
@@ -285,6 +309,52 @@ mod tests {
         // Chain broadcast from 3: node 0 is 3 hops, node 7 is 4 hops.
         assert!(arrivals[7] > arrivals[4]);
         assert!(arrivals[0] > arrivals[2]);
+    }
+
+    #[test]
+    fn one_hop_broadcast_matches_one_hop_unicast() {
+        // Regression: broadcast used to charge router_latency on the first
+        // hop out of the source, which `send` never does.
+        let mut bc = net(TopologyKind::Chain, 2);
+        let arrivals = bc.broadcast(Ps::ZERO, 0, 272);
+        let mut uni = net(TopologyKind::Chain, 2);
+        assert_eq!(arrivals[1], uni.send(Ps::ZERO, 0, 1, 272));
+    }
+
+    #[test]
+    fn broadcast_arrival_equals_unicast_along_tree_paths() {
+        // Uncontended, cut-through forwarding makes every broadcast arrival
+        // identical to a fresh unicast over the same path, on any topology.
+        for kind in [
+            TopologyKind::Chain,
+            TopologyKind::Ring,
+            TopologyKind::Mesh,
+            TopologyKind::Torus,
+        ] {
+            let topo = Topology::new(kind, 9);
+            let mut bc = PacketNet::new(&topo, LinkParams::grs_25gbps());
+            let arrivals = bc.broadcast(Ps::ZERO, 0, 272);
+            // Tree paths are shortest paths, but `route` may pick a
+            // different (equal-length) one, so only compare per tree depth.
+            let mut depth = vec![usize::MAX; topo.len()];
+            depth[0] = 0;
+            for (parent, child, _) in topo.broadcast_tree(0) {
+                depth[child] = depth[parent] + 1;
+            }
+            for dst in 1..topo.len() {
+                let mut uni = PacketNet::new(&topo, LinkParams::grs_25gbps());
+                // A unicast to any node at the same depth costs the same.
+                let same_depth = (1..topo.len())
+                    .find(|&d| topo.route(0, d).len() == depth[dst])
+                    .unwrap();
+                assert_eq!(
+                    arrivals[dst],
+                    uni.send(Ps::ZERO, 0, same_depth, 272),
+                    "{kind:?} node {dst} at depth {}",
+                    depth[dst]
+                );
+            }
+        }
     }
 
     #[test]

@@ -251,6 +251,30 @@ impl Topology {
         tree
     }
 
+    /// Whether `link` is a wrap-around link — the ring's closing edge, or a
+    /// torus row/column wrap. These are the links that close channel
+    /// dependency cycles, so wormhole routers switch virtual channels when
+    /// crossing them (the classical dateline rule). Always `false` for
+    /// chain and mesh.
+    ///
+    /// # Panics
+    /// Panics if `link` is out of range.
+    pub fn is_wrap_link(&self, link: LinkId) -> bool {
+        let (a, b) = self.links[link.0];
+        match self.kind {
+            TopologyKind::Chain | TopologyKind::Mesh => false,
+            TopologyKind::Ring => self.n > 2 && a.abs_diff(b) == self.n - 1,
+            TopologyKind::Torus => {
+                let (_, cols) = grid_dims(self.n);
+                let (ra, ca) = (a / cols, a % cols);
+                let (rb, cb) = (b / cols, b % cols);
+                // Adjacent grid cells differ by 1 in exactly one coordinate;
+                // a wrap link jumps across the whole row or column.
+                (ra == rb && ca.abs_diff(cb) > 1) || (ca == cb && ra.abs_diff(rb) > 1)
+            }
+        }
+    }
+
     /// Iterates all `(from, to)` link endpoint pairs in link-id order.
     pub fn iter_links(&self) -> impl Iterator<Item = (LinkId, usize, usize)> + '_ {
         self.links
@@ -370,6 +394,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn wrap_links_identified_per_topology() {
+        for kind in [TopologyKind::Chain, TopologyKind::Mesh] {
+            let t = Topology::new(kind, 8);
+            assert!(
+                t.iter_links().all(|(l, _, _)| !t.is_wrap_link(l)),
+                "{kind} has no wrap links"
+            );
+        }
+        let r = Topology::new(TopologyKind::Ring, 8);
+        let ring_wraps: Vec<_> = r
+            .iter_links()
+            .filter(|&(l, _, _)| r.is_wrap_link(l))
+            .collect();
+        assert_eq!(ring_wraps.len(), 2); // 7->0 and 0->7
+        for (_, a, b) in ring_wraps {
+            assert_eq!(a.abs_diff(b), 7);
+        }
+        // 2 x 4 torus: 2 row wraps (rows of 4 > 2 cols apart), no column
+        // wraps (only 2 rows) — 4 unidirectional wrap links.
+        let t = Topology::new(TopologyKind::Torus, 8);
+        let torus_wraps = t.iter_links().filter(|&(l, _, _)| t.is_wrap_link(l));
+        assert_eq!(torus_wraps.count(), 4);
+        // 4 x 4 torus wraps both dimensions: 4 per row + 4 per column,
+        // bidirectional.
+        let t16 = Topology::new(TopologyKind::Torus, 16);
+        let w16 = t16.iter_links().filter(|&(l, _, _)| t16.is_wrap_link(l));
+        assert_eq!(w16.count(), 16);
     }
 
     #[test]

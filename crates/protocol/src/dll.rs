@@ -94,6 +94,13 @@ pub enum DllEvent {
         /// Sequence number being acknowledged.
         seq: u32,
     },
+    /// The packet with sequence number `seq` exhausted its retry budget
+    /// without an ACK: the link is considered failed for that packet and
+    /// retransmission stops (see [`DllEndpoint::with_max_retries`]).
+    LinkFailed {
+        /// Sequence number of the abandoned packet.
+        seq: u32,
+    },
 }
 
 /// Sender + receiver state machine for one link direction.
@@ -123,12 +130,16 @@ pub struct DllEndpoint {
     // --- sender side ---
     credits: CreditCounter,
     next_seq: u32,
-    /// seq -> (packet, retransmit deadline)
-    unacked: BTreeMap<u32, (Packet, Ps)>,
+    /// seq -> (packet, retransmit deadline, retransmissions so far)
+    unacked: BTreeMap<u32, (Packet, Ps, u32)>,
     /// Packets waiting for a credit.
     backlog: VecDeque<Packet>,
     retry_timeout: Ps,
+    /// Retransmissions allowed per packet before the link is declared
+    /// failed for it; `None` retries forever.
+    max_retries: Option<u32>,
     retransmissions: u64,
+    link_failures: u64,
     // --- receiver side ---
     /// Sequence numbers below this have all been delivered.
     delivered_low: u32,
@@ -148,7 +159,9 @@ impl DllEndpoint {
             unacked: BTreeMap::new(),
             backlog: VecDeque::new(),
             retry_timeout,
+            max_retries: None,
             retransmissions: 0,
+            link_failures: 0,
             delivered_low: 0,
             delivered_set: std::collections::BTreeSet::new(),
             duplicates: 0,
@@ -171,7 +184,7 @@ impl DllEndpoint {
             self.next_seq += 1;
             pkt.dll_field = seq;
             self.unacked
-                .insert(seq, (pkt.clone(), now + self.retry_timeout));
+                .insert(seq, (pkt.clone(), now + self.retry_timeout, 0));
             out.push(DllEvent::Transmit(pkt));
         }
         out
@@ -198,21 +211,59 @@ impl DllEndpoint {
     }
 
     /// Retransmits every unacknowledged packet whose timeout expired.
+    ///
+    /// With a retry cap (see [`with_max_retries`](Self::with_max_retries)), a
+    /// packet that has already been retransmitted `max_retries` times is
+    /// abandoned instead: its slot and credit are released, the failure is
+    /// counted, and a [`DllEvent::LinkFailed`] is emitted.
     pub fn poll_timeouts(&mut self, now: Ps) -> Vec<DllEvent> {
         let mut out = Vec::new();
-        for (_, (pkt, deadline)) in self.unacked.iter_mut() {
+        let mut failed = Vec::new();
+        for (seq, (pkt, deadline, attempts)) in self.unacked.iter_mut() {
             if *deadline <= now {
+                if self.max_retries.is_some_and(|cap| *attempts >= cap) {
+                    failed.push(*seq);
+                    continue;
+                }
                 *deadline = now + self.retry_timeout;
+                *attempts += 1;
                 self.retransmissions += 1;
                 out.push(DllEvent::Transmit(pkt.clone()));
             }
         }
+        for seq in failed {
+            self.unacked.remove(&seq);
+            self.credits.refill(1);
+            self.link_failures += 1;
+            out.push(DllEvent::LinkFailed { seq });
+        }
+        // Abandoning a packet frees its credit; backlogged traffic may now go.
+        out.extend(self.drain_backlog(now));
         out
     }
 
     /// The earliest retransmission deadline, if any packet is unacked.
     pub fn next_timeout(&self) -> Option<Ps> {
-        self.unacked.values().map(|(_, d)| *d).min()
+        self.unacked.values().map(|(_, d, _)| *d).min()
+    }
+
+    /// Caps retransmissions per packet: after `max_retries` unanswered
+    /// retransmissions (so `max_retries + 1` transmissions total) the next
+    /// expired timeout abandons the packet and reports a link failure.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = Some(max_retries);
+        self
+    }
+
+    /// The configured retry cap, if any.
+    pub fn max_retries(&self) -> Option<u32> {
+        self.max_retries
+    }
+
+    /// Packets abandoned after exhausting the retry cap.
+    pub fn link_failures(&self) -> u64 {
+        self.link_failures
     }
 
     /// Receiver side: validates and delivers a flit stream.
@@ -278,6 +329,11 @@ impl DllEndpoint {
     /// Credits currently available to the sender side.
     pub fn credits_available(&self) -> u32 {
         self.credits.available()
+    }
+
+    /// The sender side's credit pool size.
+    pub fn credits_max(&self) -> u32 {
+        self.credits.max()
     }
 }
 
@@ -394,5 +450,53 @@ mod tests {
     fn credit_overflow_panics() {
         let mut c = CreditCounter::new(1);
         c.refill(1);
+    }
+
+    #[test]
+    fn retry_cap_surfaces_link_failure_and_frees_credit() {
+        let mut tx = DllEndpoint::new(1, Ps::from_ns(100)).with_max_retries(2);
+        assert_eq!(tx.max_retries(), Some(2));
+        tx.send(Ps::ZERO, pkt(0));
+        // A second packet is stuck behind the single credit.
+        assert!(tx.send(Ps::ZERO, pkt(1)).is_empty());
+
+        // Two retransmissions are allowed...
+        let r1 = tx.poll_timeouts(Ps::from_ns(100));
+        assert!(matches!(r1[0], DllEvent::Transmit(_)));
+        let r2 = tx.poll_timeouts(Ps::from_ns(200));
+        assert!(matches!(r2[0], DllEvent::Transmit(_)));
+        assert_eq!(tx.retransmissions(), 2);
+
+        // ...then the third expiry abandons the packet and the freed credit
+        // releases the backlog in the same poll.
+        let r3 = tx.poll_timeouts(Ps::from_ns(300));
+        assert!(matches!(r3[0], DllEvent::LinkFailed { seq: 0 }));
+        assert!(matches!(&r3[1], DllEvent::Transmit(p) if p.dll_field == 1));
+        assert_eq!(tx.link_failures(), 1);
+        assert_eq!(tx.outstanding(), 1); // only packet 1 remains
+        assert_eq!(tx.backlogged(), 0);
+    }
+
+    #[test]
+    fn uncapped_endpoint_retries_forever() {
+        let mut tx = DllEndpoint::new(1, Ps::from_ns(100));
+        assert_eq!(tx.max_retries(), None);
+        tx.send(Ps::ZERO, pkt(0));
+        for i in 1..=50u64 {
+            let evs = tx.poll_timeouts(Ps::from_ns(100 * i));
+            assert!(matches!(evs[0], DllEvent::Transmit(_)));
+        }
+        assert_eq!(tx.retransmissions(), 50);
+        assert_eq!(tx.link_failures(), 0);
+    }
+
+    #[test]
+    fn ack_before_cap_prevents_link_failure() {
+        let mut tx = DllEndpoint::new(2, Ps::from_ns(100)).with_max_retries(1);
+        tx.send(Ps::ZERO, pkt(0));
+        tx.poll_timeouts(Ps::from_ns(100)); // the one allowed retry
+        tx.on_ack(0);
+        assert!(tx.poll_timeouts(Ps::from_ns(1000)).is_empty());
+        assert_eq!(tx.link_failures(), 0);
     }
 }

@@ -1,0 +1,336 @@
+//! Fault-injecting wire harness for the data-link layer.
+//!
+//! Drives a sender/receiver [`DllEndpoint`] pair over a simulated lossy wire
+//! that can drop, corrupt, duplicate, and reorder packets (and drop ACKs),
+//! all deterministically from a seed. The harness is the ground truth for
+//! the DLL's end-to-end guarantees: every submitted packet is delivered to
+//! the transaction layer *exactly once* — or, with a retry cap, surfaced as
+//! an explicit link failure — and credits are conserved throughout.
+//!
+//! # Examples
+//!
+//! ```
+//! use dl_protocol::{FaultSpec, WireHarness, WireOutcome};
+//!
+//! let faults = FaultSpec { drop_pct: 30, duplicate_pct: 20, ..FaultSpec::NONE };
+//! let report = WireHarness::new(4, faults, 7).run(16);
+//! assert_eq!(report.outcome, WireOutcome::AllDelivered);
+//! assert_eq!(report.delivered, 16);
+//! assert_eq!(report.max_deliveries_per_seq, 1); // exactly once
+//! ```
+
+use crate::dll::{DllEndpoint, DllEvent};
+use crate::packet::{DimmId, DlCommand, Flit, Packet, PacketHeader};
+use dl_engine::{DetRng, Ps};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-event fault probabilities, in whole percent (0–100).
+///
+/// Drop, corrupt, and duplicate apply independently to each data-packet
+/// transmission; reorder shuffles a transmission to the front of the wire
+/// queue; `ack_drop_pct` applies to each ACK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Percent of data transmissions lost in flight.
+    pub drop_pct: u8,
+    /// Percent of data transmissions with a flipped byte (CRC catches them).
+    pub corrupt_pct: u8,
+    /// Percent of data transmissions delivered twice.
+    pub duplicate_pct: u8,
+    /// Percent of data transmissions jumped to the head of the wire queue.
+    pub reorder_pct: u8,
+    /// Percent of ACKs lost on the return path.
+    pub ack_drop_pct: u8,
+}
+
+impl FaultSpec {
+    /// A clean wire: no faults.
+    pub const NONE: FaultSpec = FaultSpec {
+        drop_pct: 0,
+        corrupt_pct: 0,
+        duplicate_pct: 0,
+        reorder_pct: 0,
+        ack_drop_pct: 0,
+    };
+}
+
+/// How a [`WireHarness::run`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// Every submitted packet reached the transaction layer.
+    AllDelivered,
+    /// At least one packet exhausted its retry cap (see
+    /// [`DllEndpoint::with_max_retries`]); the rest were delivered.
+    LinkFailed,
+    /// The round budget ran out with traffic still in flight (e.g. a 100%
+    /// lossy wire and no retry cap).
+    Stalled,
+}
+
+/// Counters observed during a harness run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReport {
+    /// Final state of the run.
+    pub outcome: WireOutcome,
+    /// Distinct packets delivered to the transaction layer.
+    pub delivered: u64,
+    /// Highest delivery count for any single sequence number — must be 1
+    /// for the exactly-once guarantee to hold.
+    pub max_deliveries_per_seq: u32,
+    /// Packets abandoned at the retry cap.
+    pub link_failures: u64,
+    /// Retransmissions the sender performed.
+    pub retransmissions: u64,
+    /// Duplicates the receiver suppressed.
+    pub duplicates_suppressed: u64,
+    /// Corrupted packets the receiver rejected by CRC.
+    pub crc_errors: u64,
+    /// Faults the wire injected: drops, corruptions, duplications,
+    /// reorders, ACK drops.
+    pub injected: [u64; 5],
+    /// Sender credits available after the run (credit-conservation check).
+    pub credits_available: u32,
+    /// Sender credit pool size.
+    pub credits_max: u32,
+}
+
+/// A lossy unidirectional data wire plus its ACK return path, connecting a
+/// sender endpoint to a receiver endpoint.
+#[derive(Debug)]
+pub struct WireHarness {
+    tx: DllEndpoint,
+    rx: DllEndpoint,
+    faults: FaultSpec,
+    rng: DetRng,
+    data_wire: VecDeque<Vec<Flit>>,
+    ack_wire: VecDeque<u32>,
+    /// deliveries per sequence number
+    deliveries: BTreeMap<u32, u32>,
+    injected: [u64; 5],
+}
+
+const RETRY_TIMEOUT: Ps = Ps::from_ns(100);
+
+impl WireHarness {
+    /// Builds a harness with `credits` receive slots per endpoint, the given
+    /// fault mix, and a deterministic seed. No retry cap: packets retry until
+    /// delivered (use [`with_max_retries`](Self::with_max_retries) to cap).
+    pub fn new(credits: u32, faults: FaultSpec, seed: u64) -> Self {
+        WireHarness {
+            tx: DllEndpoint::new(credits, RETRY_TIMEOUT),
+            rx: DllEndpoint::new(credits, RETRY_TIMEOUT),
+            faults,
+            rng: DetRng::seed(seed).stream("wire-faults"),
+            data_wire: VecDeque::new(),
+            ack_wire: VecDeque::new(),
+            deliveries: BTreeMap::new(),
+            injected: [0; 5],
+        }
+    }
+
+    /// Caps retransmissions per packet on the sender endpoint.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.tx =
+            DllEndpoint::new(self.tx.credits_max(), RETRY_TIMEOUT).with_max_retries(max_retries);
+        self
+    }
+
+    fn chance(&mut self, pct: u8) -> bool {
+        pct > 0 && self.rng.below(100) < pct as u64
+    }
+
+    /// Applies wire faults to one outbound transmission.
+    fn put_on_wire(&mut self, pkt: &Packet) {
+        if self.chance(self.faults.drop_pct) {
+            self.injected[0] += 1;
+            return;
+        }
+        let mut flits = pkt.encode();
+        if self.chance(self.faults.corrupt_pct) {
+            self.injected[1] += 1;
+            let f = self.rng.below(flits.len() as u64) as usize;
+            let b = self.rng.below(16) as usize;
+            flits[f][b] ^= 0x40;
+        }
+        if self.chance(self.faults.duplicate_pct) {
+            self.injected[2] += 1;
+            self.data_wire.push_back(flits.clone());
+        }
+        if self.chance(self.faults.reorder_pct) {
+            self.injected[3] += 1;
+            self.data_wire.push_front(flits);
+        } else {
+            self.data_wire.push_back(flits);
+        }
+    }
+
+    fn handle_tx_events(&mut self, events: Vec<DllEvent>) {
+        for ev in events {
+            match ev {
+                DllEvent::Transmit(pkt) => self.put_on_wire(&pkt),
+                DllEvent::LinkFailed { .. } => {}
+                DllEvent::Deliver(_) | DllEvent::SendAck { .. } => {
+                    unreachable!("receiver-side event from sender endpoint")
+                }
+            }
+        }
+    }
+
+    /// Submits `count` packets and runs rounds until the wire drains, a
+    /// retry cap fires and the rest drain, or the round budget runs out.
+    ///
+    /// Each round delivers everything in flight, returns ACKs (minus the
+    /// dropped ones), then advances time by one retry timeout so expired
+    /// packets retransmit.
+    pub fn run(mut self, count: u32) -> WireReport {
+        for i in 0..count {
+            let h = PacketHeader::new(DimmId(0), DimmId(1), DlCommand::WriteReq, 0x40, i as u8)
+                .expect("valid header");
+            let evs = self.tx.send(Ps::ZERO, Packet::without_payload(h));
+            self.handle_tx_events(evs);
+        }
+
+        // Generous budget: even a 99%-lossy wire delivers within this many
+        // timeout rounds with overwhelming probability.
+        let max_rounds = 64 + 64 * count as u64;
+        let mut outcome = WireOutcome::Stalled;
+        for round in 1..=max_rounds {
+            let now = Ps::ZERO + RETRY_TIMEOUT * round;
+
+            // Data wire -> receiver.
+            while let Some(flits) = self.data_wire.pop_front() {
+                // CRC failures are counted inside the receiver; the sender's
+                // timeout recovers, so the harness just moves on.
+                let Ok(evs) = self.rx.receive(now, &flits) else {
+                    continue;
+                };
+                for ev in evs {
+                    match ev {
+                        DllEvent::Deliver(p) => {
+                            *self.deliveries.entry(p.dll_field).or_insert(0) += 1;
+                        }
+                        DllEvent::SendAck { seq } => {
+                            if self.chance(self.faults.ack_drop_pct) {
+                                self.injected[4] += 1;
+                            } else {
+                                self.ack_wire.push_back(seq);
+                            }
+                        }
+                        DllEvent::Transmit(_) | DllEvent::LinkFailed { .. } => {
+                            unreachable!("sender-side event from receiver endpoint")
+                        }
+                    }
+                }
+            }
+
+            // ACK wire -> sender; freed credits release the backlog.
+            while let Some(seq) = self.ack_wire.pop_front() {
+                self.tx.on_ack(seq);
+            }
+            let released = self.tx.release_after_ack(now);
+            self.handle_tx_events(released);
+
+            // Time advances one timeout: expired packets retransmit or fail.
+            let timed_out = self.tx.poll_timeouts(now);
+            self.handle_tx_events(timed_out);
+
+            if self.tx.outstanding() == 0
+                && self.tx.backlogged() == 0
+                && self.data_wire.is_empty()
+                && self.ack_wire.is_empty()
+            {
+                outcome = if self.tx.link_failures() > 0 {
+                    WireOutcome::LinkFailed
+                } else {
+                    WireOutcome::AllDelivered
+                };
+                break;
+            }
+        }
+
+        WireReport {
+            outcome,
+            delivered: self.deliveries.len() as u64,
+            max_deliveries_per_seq: self.deliveries.values().copied().max().unwrap_or(0),
+            link_failures: self.tx.link_failures(),
+            retransmissions: self.tx.retransmissions(),
+            duplicates_suppressed: self.rx.duplicates(),
+            crc_errors: self.rx.crc_errors(),
+            injected: self.injected,
+            credits_available: self.tx.credits_available(),
+            credits_max: self.tx.credits_max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_wire_delivers_everything_exactly_once() {
+        let report = WireHarness::new(4, FaultSpec::NONE, 1).run(32);
+        assert_eq!(report.outcome, WireOutcome::AllDelivered);
+        assert_eq!(report.delivered, 32);
+        assert_eq!(report.max_deliveries_per_seq, 1);
+        assert_eq!(report.retransmissions, 0);
+        assert_eq!(report.credits_available, report.credits_max);
+    }
+
+    #[test]
+    fn lossy_wire_still_delivers_exactly_once() {
+        let faults = FaultSpec {
+            drop_pct: 40,
+            corrupt_pct: 20,
+            duplicate_pct: 30,
+            reorder_pct: 30,
+            ack_drop_pct: 20,
+        };
+        let report = WireHarness::new(4, faults, 42).run(24);
+        assert_eq!(report.outcome, WireOutcome::AllDelivered);
+        assert_eq!(report.delivered, 24);
+        assert_eq!(report.max_deliveries_per_seq, 1);
+        assert!(report.retransmissions > 0, "faults must force retries");
+        assert_eq!(report.credits_available, report.credits_max);
+    }
+
+    #[test]
+    fn dead_wire_with_retry_cap_reports_link_failure() {
+        let faults = FaultSpec {
+            drop_pct: 100,
+            ..FaultSpec::NONE
+        };
+        let report = WireHarness::new(4, faults, 3).with_max_retries(2).run(8);
+        assert_eq!(report.outcome, WireOutcome::LinkFailed);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.link_failures, 8);
+        // Abandoning packets must hand their credits back.
+        assert_eq!(report.credits_available, report.credits_max);
+    }
+
+    #[test]
+    fn dead_wire_without_cap_stalls() {
+        let faults = FaultSpec {
+            drop_pct: 100,
+            ..FaultSpec::NONE
+        };
+        let report = WireHarness::new(2, faults, 5).run(2);
+        assert_eq!(report.outcome, WireOutcome::Stalled);
+        assert_eq!(report.delivered, 0);
+        assert!(report.retransmissions > 0);
+    }
+
+    #[test]
+    fn duplicate_heavy_wire_suppresses_at_receiver() {
+        let faults = FaultSpec {
+            duplicate_pct: 100,
+            ..FaultSpec::NONE
+        };
+        let report = WireHarness::new(4, faults, 9).run(16);
+        assert_eq!(report.outcome, WireOutcome::AllDelivered);
+        assert_eq!(report.delivered, 16);
+        assert_eq!(report.max_deliveries_per_seq, 1);
+        assert!(report.duplicates_suppressed >= 16);
+    }
+}

@@ -32,8 +32,10 @@
 
 pub mod crc;
 pub mod dll;
+pub mod faults;
 pub mod packet;
 
 pub use crc::crc32;
 pub use dll::{CreditCounter, DllEndpoint, DllEvent};
-pub use packet::{DimmId, DlCommand, Flit, Packet, PacketHeader, ProtocolError};
+pub use faults::{FaultSpec, WireHarness, WireOutcome, WireReport};
+pub use packet::{DimmId, DlCommand, Flit, Packet, PacketHeader, ProtocolError, FLIT_BYTES};

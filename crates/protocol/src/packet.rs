@@ -14,7 +14,12 @@
 //! ```
 //!
 //! and the tail carries `CRC-32 (32 b) || DLL field (32 b: sequence number
-//! and credit return, managed by [`crate::dll`])`.
+//! and credit return, managed by [`crate::dll`])`. The CRC covers the
+//! header, payload, *and* the DLL field: an undetected bit-flip in the
+//! sequence number would silently break the link layer's exactly-once
+//! delivery (a duplicate could be delivered under a fresh sequence number),
+//! so the DLL stamps its field before the physical layer serializes and the
+//! CRC is computed at [`Packet::encode`] time over everything but itself.
 
 use crate::crc::crc32;
 use serde::{Deserialize, Serialize};
@@ -235,6 +240,14 @@ pub struct Packet {
     pub dll_field: u32,
 }
 
+/// The tail CRC: header + padded payload followed by the DLL field.
+fn crc32_covering(body: &[u8], dll_field: u32) -> u32 {
+    let mut covered = Vec::with_capacity(body.len() + 4);
+    covered.extend_from_slice(body);
+    covered.extend_from_slice(&dll_field.to_le_bytes());
+    crc32(&covered)
+}
+
 impl Packet {
     /// A packet without payload (e.g. a read request).
     pub fn without_payload(header: PacketHeader) -> Self {
@@ -270,7 +283,8 @@ impl Packet {
         (self.flit_count() * FLIT_BYTES) as u64
     }
 
-    /// Serializes into flits, computing the tail CRC over header + payload.
+    /// Serializes into flits, computing the tail CRC over header, payload,
+    /// and the DLL field (everything on the wire except the CRC itself).
     pub fn encode(&self) -> Vec<Flit> {
         let n_flits = self.flit_count();
         let mut bytes = Vec::with_capacity(n_flits * FLIT_BYTES);
@@ -279,7 +293,7 @@ impl Packet {
         // Pad so the 8-byte tail lands at the end of the final flit.
         let body_padded = n_flits * FLIT_BYTES - 8;
         bytes.resize(body_padded, 0);
-        let crc = crc32(&bytes);
+        let crc = crc32_covering(&bytes, self.dll_field);
         bytes.extend_from_slice(&crc.to_le_bytes());
         bytes.extend_from_slice(&self.dll_field.to_le_bytes());
         debug_assert_eq!(bytes.len() % FLIT_BYTES, 0);
@@ -321,11 +335,11 @@ impl Packet {
         let body = &bytes[..n_flits * FLIT_BYTES - 8];
         let tail = &bytes[n_flits * FLIT_BYTES - 8..];
         let expected = u32::from_le_bytes(tail[..4].try_into().expect("tail"));
-        let computed = crc32(body);
+        let dll_field = u32::from_le_bytes(tail[4..8].try_into().expect("tail"));
+        let computed = crc32_covering(body, dll_field);
         if expected != computed {
             return Err(ProtocolError::CrcMismatch { expected, computed });
         }
-        let dll_field = u32::from_le_bytes(tail[4..8].try_into().expect("tail"));
         let payload = body[8..].to_vec();
         Ok(Packet {
             header,
@@ -407,11 +421,14 @@ mod tests {
 
     #[test]
     fn corruption_detected_anywhere() {
-        let p = Packet::with_payload(header(), (0..64u8).collect()).unwrap();
+        // Every wire byte is covered: header, payload, padding, the CRC
+        // itself, and the DLL field (an unprotected sequence number would
+        // break exactly-once delivery undetected).
+        let mut p = Packet::with_payload(header(), (0..64u8).collect()).unwrap();
+        p.dll_field = 0x0102_0304;
         let flits = p.encode();
         let total = flits.len() * FLIT_BYTES;
-        for byte in 0..total - 4 {
-            // (skip the dll_field bytes: they are not CRC-protected)
+        for byte in 0..total {
             let mut bad = flits.clone();
             bad[byte / FLIT_BYTES][byte % FLIT_BYTES] ^= 0x01;
             match Packet::decode(&bad) {
@@ -433,11 +450,20 @@ mod tests {
     }
 
     #[test]
-    fn dll_field_rides_outside_crc() {
+    fn dll_field_roundtrips_and_is_crc_protected() {
         let mut p = Packet::without_payload(header());
         p.dll_field = 0xDEAD_BEEF;
-        let dec = Packet::decode(&p.encode()).unwrap();
+        let flits = p.encode();
+        let dec = Packet::decode(&flits).unwrap();
         assert_eq!(dec.dll_field, 0xDEAD_BEEF);
+        // A flipped sequence-number bit must not decode as a valid packet.
+        let mut bad = flits.clone();
+        let last = bad.len() - 1;
+        bad[last][FLIT_BYTES - 1] ^= 0x80;
+        assert!(matches!(
+            Packet::decode(&bad),
+            Err(ProtocolError::CrcMismatch { .. })
+        ));
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! codec and data-link layer) — invariants the FPGA prototype of the paper's
 //! Section V-A validates in hardware.
 
-use dl_protocol::{crc32, DimmId, DlCommand, DllEndpoint, DllEvent, Packet, PacketHeader};
+use dl_protocol::{
+    crc32, DimmId, DlCommand, DllEndpoint, DllEvent, FaultSpec, Packet, PacketHeader, WireHarness,
+    WireOutcome,
+};
 use proptest::prelude::*;
 
 fn arb_command() -> impl Strategy<Value = DlCommand> {
@@ -67,12 +70,10 @@ proptest! {
     ) {
         let mut flits = pkt.encode();
         let total = flits.len() * 16;
-        // The last 4 bytes are the DLL field (sequence/credits), which is
-        // rewritten by the link layer and intentionally outside the CRC.
+        // Every wire byte is covered: the CRC spans header, payload, and
+        // the DLL field (so a corrupted sequence number cannot slip through
+        // and break exactly-once delivery).
         let idx = byte % total.max(1);
-        if idx >= total - 4 {
-            return Ok(());
-        }
         flits[idx / 16][idx % 16] ^= flip;
         prop_assert!(Packet::decode(&flits).is_err(), "corruption at byte {idx} undetected");
     }
@@ -124,7 +125,7 @@ proptest! {
                         DllEvent::SendAck { seq } => {
                             tx.on_ack(seq);
                         }
-                        DllEvent::Transmit(_) => unreachable!(),
+                        DllEvent::Transmit(_) | DllEvent::LinkFailed { .. } => unreachable!(),
                     }
                 }
             }
@@ -138,5 +139,62 @@ proptest! {
         delivered.sort_unstable();
         let expected: Vec<u8> = (0..n_packets as u8).collect();
         prop_assert_eq!(delivered, expected);
+    }
+
+    #[test]
+    fn faulty_wire_preserves_exactly_once_delivery(
+        drop_pct in 0u8..=60,
+        corrupt_pct in 0u8..=40,
+        duplicate_pct in 0u8..=60,
+        reorder_pct in 0u8..=100,
+        ack_drop_pct in 0u8..=40,
+        credits in 1u32..=8,
+        count in 1u32..=24,
+        seed in any::<u64>(),
+    ) {
+        // Any mix of drops, corruptions, duplications, reorderings, and
+        // lost ACKs: every packet is still delivered exactly once and all
+        // credits return to the pool.
+        let faults = FaultSpec { drop_pct, corrupt_pct, duplicate_pct, reorder_pct, ack_drop_pct };
+        let report = WireHarness::new(credits, faults, seed).run(count);
+        prop_assert_eq!(report.outcome, WireOutcome::AllDelivered);
+        prop_assert_eq!(report.delivered, count as u64);
+        prop_assert_eq!(report.max_deliveries_per_seq, 1);
+        prop_assert_eq!(report.credits_available, report.credits_max);
+    }
+
+    #[test]
+    fn retry_cap_converts_dead_links_into_failures_not_hangs(
+        max_retries in 0u32..=4,
+        credits in 1u32..=4,
+        count in 1u32..=8,
+        seed in any::<u64>(),
+    ) {
+        // A fully dead wire with a retry cap must terminate with every
+        // packet accounted for as a link failure — and the abandoned
+        // packets must hand their credits back.
+        let faults = FaultSpec { drop_pct: 100, ..FaultSpec::NONE };
+        let report = WireHarness::new(credits, faults, seed)
+            .with_max_retries(max_retries)
+            .run(count);
+        prop_assert_eq!(report.outcome, WireOutcome::LinkFailed);
+        prop_assert_eq!(report.delivered, 0);
+        prop_assert_eq!(report.link_failures, count as u64);
+        prop_assert_eq!(report.credits_available, report.credits_max);
+    }
+
+    #[test]
+    fn lossy_wire_with_generous_cap_still_delivers(
+        drop_pct in 0u8..=50,
+        count in 1u32..=16,
+        seed in any::<u64>(),
+    ) {
+        // With a cap far above the expected retry count for a <=50% lossy
+        // wire, the cap must not fire spuriously.
+        let faults = FaultSpec { drop_pct, ..FaultSpec::NONE };
+        let report = WireHarness::new(4, faults, seed).with_max_retries(64).run(count);
+        prop_assert_eq!(report.outcome, WireOutcome::AllDelivered);
+        prop_assert_eq!(report.delivered, count as u64);
+        prop_assert_eq!(report.max_deliveries_per_seq, 1);
     }
 }
