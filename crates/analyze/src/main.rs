@@ -1,0 +1,55 @@
+#![forbid(unsafe_code)]
+//! `dl-analyze` — scan the workspace for determinism-lint violations.
+//!
+//! Usage: `dl-analyze [workspace-root]` (defaults to the repo containing
+//! this crate). Exits non-zero when any violation is found. Prints the
+//! allowlist inventory so every sanctioned exception stays auditable.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dl_analyze::{analyze_workspace, RULES};
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dl-analyze: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "dl-analyze: scanned {} files under {}",
+        report.files,
+        root.display()
+    );
+    println!("rules:");
+    for (rule, desc) in RULES {
+        println!("  {rule:<14} {desc}");
+    }
+
+    if report.allows.is_empty() {
+        println!("allowlist: (empty)");
+    } else {
+        println!("allowlist ({} entries):", report.allows.len());
+        for (file, a) in &report.allows {
+            println!("  {file}:{} allow({}) — {}", a.line, a.rule, a.reason);
+        }
+    }
+
+    if report.violations.is_empty() {
+        println!("OK: no violations");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} violation(s):", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

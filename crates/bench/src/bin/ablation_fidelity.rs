@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation — packet-level vs flit-level network fidelity.
 //!
 //! The big sweeps use the packet-level model (`PacketNet`); this ablation

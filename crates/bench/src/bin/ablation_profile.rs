@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation — profiling-fraction sensitivity of Algorithm 1.
 //!
 //! The paper profiles the first 1 % of memory accesses (following TOM).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Extension — DIMM-Link on disaggregated memory (paper Section VI).
 //!
 //! The paper proposes organizing DIMM-NMP blades behind CXL/RDMA instead of

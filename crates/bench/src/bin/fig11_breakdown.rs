@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 11 — data-transfer breakdown of DIMM-Link-opt.
 //!
 //! The paper reports that with the thread-placement optimization only ~29 %

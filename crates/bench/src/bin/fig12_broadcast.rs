@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 12 — broadcast performance.
 //!
 //! PR, SSSP and SpMV in their explicit-broadcast formulations on MCN-BC,

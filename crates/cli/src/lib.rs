@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dl-cli
 //!
 //! `dlsim` — the command-line front end of the DIMM-Link simulator.

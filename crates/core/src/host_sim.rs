@@ -13,7 +13,7 @@ use dl_engine::stats::StatSet;
 use dl_engine::{EventQueue, Ps, Resource};
 use dl_mem::{AccessKind, Cache, CacheOutcome, DimmAddressMap, MemController, MemRequest};
 use dl_workloads::{Op, Workload};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
@@ -82,7 +82,7 @@ struct HostSystem<'w> {
     map: DimmAddressMap,
     atomic_unit: Resource,
     /// txn -> (core, is-load)
-    txns: HashMap<u64, (usize, bool)>,
+    txns: BTreeMap<u64, (usize, bool)>,
     next_txn: u64,
     now: Ps,
     done: usize,
@@ -124,7 +124,7 @@ impl<'w> HostSystem<'w> {
             mc_next: vec![Ps::MAX; cfg.channels],
             map: DimmAddressMap::new(&cfg.dram),
             atomic_unit: Resource::new("host-atomics"),
-            txns: HashMap::new(),
+            txns: BTreeMap::new(),
             next_txn: 0,
             now: Ps::ZERO,
             done: 0,

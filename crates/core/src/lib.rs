@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dimm-link
 //!
 //! A from-scratch reproduction of **DIMM-Link: Enabling Efficient Inter-DIMM

@@ -15,7 +15,7 @@ use dl_engine::{EventQueue, Ps, Resource};
 use dl_mem::{AccessKind, Cache, CacheOutcome, DimmAddressMap, MemController, MemRequest};
 use dl_placement::AccessProfile;
 use dl_workloads::{Op, Workload};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cycles of local bookkeeping at each synchronization stage.
 const SYNC_PROC: Ps = Ps::from_ns(5);
@@ -108,14 +108,14 @@ struct BarrierState {
     total: usize,
     arrived: usize,
     /// Per-DIMM aggregation (hierarchical): count and latest local arrival.
-    dimm_agg: HashMap<usize, BarrierGroupAgg>,
+    dimm_agg: BTreeMap<usize, BarrierGroupAgg>,
     /// Per-group aggregation: count of completed DIMMs and latest arrival
     /// at the group master.
-    group_agg: HashMap<usize, BarrierGroupAgg>,
+    group_agg: BTreeMap<usize, BarrierGroupAgg>,
     /// DIMMs (with ≥1 thread) per group and threads per DIMM, fixed per
     /// placement.
-    threads_on_dimm: HashMap<usize, usize>,
-    dimms_in_group: HashMap<usize, usize>,
+    threads_on_dimm: BTreeMap<usize, usize>,
+    dimms_in_group: BTreeMap<usize, usize>,
     /// Completed-group arrivals at the global master.
     global_arrived: usize,
     global_ready: Ps,
@@ -155,8 +155,8 @@ pub struct NmpSystem<'w> {
     /// a time (the serialization hierarchical sync alleviates).
     sync_units: Vec<Resource>,
     barrier: BarrierState,
-    txn_mem: HashMap<u64, TxnClass>,
-    txn_net: HashMap<u64, NetThen>,
+    txn_mem: BTreeMap<u64, TxnClass>,
+    txn_net: BTreeMap<u64, NetThen>,
     next_txn: u64,
     now: Ps,
     done: usize,
@@ -175,7 +175,7 @@ pub struct NmpSystem<'w> {
     ev_wake: u64,
     ev_mem: u64,
     ev_net: u64,
-    remote_issue: HashMap<u64, Ps>,
+    remote_issue: BTreeMap<u64, Ps>,
     remote_rtt: dl_engine::stats::Histogram,
     call_order: crate::idc::CallOrderStats,
 }
@@ -237,11 +237,11 @@ impl<'w> NmpSystem<'w> {
             })
             .collect();
 
-        let mut threads_on_dimm = HashMap::new();
+        let mut threads_on_dimm = BTreeMap::new();
         for &d in placement {
             *threads_on_dimm.entry(d).or_insert(0) += 1;
         }
-        let mut dimms_in_group: HashMap<usize, usize> = HashMap::new();
+        let mut dimms_in_group: BTreeMap<usize, usize> = BTreeMap::new();
         for &d in threads_on_dimm.keys() {
             *dimms_in_group.entry(cfg.group_of(d)).or_insert(0) += 1;
         }
@@ -275,16 +275,16 @@ impl<'w> NmpSystem<'w> {
             barrier: BarrierState {
                 total: threads,
                 arrived: 0,
-                dimm_agg: HashMap::new(),
-                group_agg: HashMap::new(),
+                dimm_agg: BTreeMap::new(),
+                group_agg: BTreeMap::new(),
                 threads_on_dimm,
                 dimms_in_group,
                 global_arrived: 0,
                 global_ready: Ps::ZERO,
                 waiting: Vec::new(),
             },
-            txn_mem: HashMap::new(),
-            txn_net: HashMap::new(),
+            txn_mem: BTreeMap::new(),
+            txn_net: BTreeMap::new(),
             next_txn: 0,
             now: Ps::ZERO,
             done: 0,
@@ -302,7 +302,7 @@ impl<'w> NmpSystem<'w> {
             ev_wake: 0,
             ev_mem: 0,
             ev_net: 0,
-            remote_issue: HashMap::new(),
+            remote_issue: BTreeMap::new(),
             remote_rtt: dl_engine::stats::Histogram::new(),
             call_order: crate::idc::CallOrderStats::default(),
             cfg: cfg.clone(),
@@ -882,12 +882,12 @@ impl<'w> NmpSystem<'w> {
             }
             SyncScheme::Hierarchical => {
                 // global master -> group masters -> DIMM masters -> cores.
-                let mut dimm_release: HashMap<usize, Ps> = HashMap::new();
-                let mut dimms: Vec<usize> = self.barrier.threads_on_dimm.keys().copied().collect();
-                dimms.sort_unstable(); // deterministic resource reservation order
-                let mut group_release: HashMap<usize, Ps> = HashMap::new();
-                let mut groups: Vec<usize> = self.barrier.dimms_in_group.keys().copied().collect();
-                groups.sort_unstable();
+                let mut dimm_release: BTreeMap<usize, Ps> = BTreeMap::new();
+                // BTreeMap keys iterate in ascending order, which fixes the
+                // resource reservation order without an explicit sort.
+                let dimms: Vec<usize> = self.barrier.threads_on_dimm.keys().copied().collect();
+                let mut group_release: BTreeMap<usize, Ps> = BTreeMap::new();
+                let groups: Vec<usize> = self.barrier.dimms_in_group.keys().copied().collect();
                 for g in groups {
                     let gm = self.group_master(g);
                     let sent = self.master_absorb(master, release_from);

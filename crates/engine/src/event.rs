@@ -58,6 +58,10 @@ pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     seq: u64,
     scheduled: u64,
+    /// Timestamp of the last popped event: the queue's notion of "current
+    /// sim time", against which the audit build checks causality.
+    #[cfg(feature = "audit")]
+    now: Ps,
 }
 
 impl<T> EventQueue<T> {
@@ -67,11 +71,23 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::new(),
             seq: 0,
             scheduled: 0,
+            #[cfg(feature = "audit")]
+            now: Ps::ZERO,
         }
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Under `feature = "audit"`, panics if `at` predates the timestamp of
+    /// the last popped event — scheduling into the past means a handler's
+    /// effect could never be observed in causal order.
     pub fn push(&mut self, at: Ps, payload: T) {
+        #[cfg(feature = "audit")]
+        assert!(
+            at >= self.now,
+            "causality violation: event scheduled at {at} but sim time already advanced to {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.scheduled += 1;
@@ -80,7 +96,12 @@ impl<T> EventQueue<T> {
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Ps, T)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
+        let next = self.heap.pop().map(|e| (e.at, e.payload));
+        #[cfg(feature = "audit")]
+        if let Some((at, _)) = &next {
+            self.now = *at;
+        }
+        next
     }
 
     /// The timestamp of the earliest pending event.
@@ -159,6 +180,30 @@ mod tests {
         q.push(Ps::ZERO, ());
         q.pop();
         assert_eq!(q.total_scheduled(), 2);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn audit_rejects_scheduling_into_the_past() {
+        let mut q = EventQueue::new();
+        q.push(Ps::from_ns(10), ());
+        q.pop(); // sim time is now 10 ns
+        q.push(Ps::from_ns(9), ()); // handler schedules before its own cause
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_accepts_scheduling_at_current_time() {
+        // Zero-latency (same-timestamp) events are causal: FIFO tie-break
+        // delivers them after their cause.
+        let mut q = EventQueue::new();
+        q.push(Ps::from_ns(10), 0u32);
+        q.pop();
+        q.push(Ps::from_ns(10), 1u32);
+        q.push(Ps::from_ns(11), 2u32);
+        assert_eq!(q.pop(), Some((Ps::from_ns(10), 1)));
+        assert_eq!(q.pop(), Some((Ps::from_ns(11), 2)));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dl-engine
 //!
 //! Discrete-event simulation substrate for the DIMM-Link reproduction.

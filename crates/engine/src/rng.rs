@@ -43,12 +43,21 @@ impl DetRng {
     ///
     /// Streams with different labels (or parents with different seeds)
     /// produce statistically independent sequences.
+    ///
+    /// Under `feature = "audit"`, a per-thread registry records which
+    /// `(parent seed, label)` owns each derived seed; if a *different*
+    /// origin later derives the same seed, two components would silently
+    /// share one random sequence (correlated "independent" draws), and the
+    /// derivation panics instead. Re-deriving the same stream from the same
+    /// origin is legitimate and not flagged.
     pub fn stream(&self, label: &str) -> DetRng {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
         for b in label.as_bytes() {
             h ^= *b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
+        #[cfg(feature = "audit")]
+        audit::record_stream(h, self.seed, label);
         DetRng::seed(h)
     }
 
@@ -83,6 +92,52 @@ impl DetRng {
             items.swap(i, j);
         }
     }
+}
+
+/// Stream-collision registry for the audit build.
+///
+/// The registry is thread-local: simulations are single-threaded per sweep
+/// point, and per-thread state keeps the parallel sweep harness free of
+/// cross-point false positives.
+#[cfg(feature = "audit")]
+mod audit {
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+
+    thread_local! {
+        /// derived seed → (parent seed, label) that first claimed it.
+        static STREAMS: RefCell<BTreeMap<u64, (u64, String)>> = RefCell::new(BTreeMap::new());
+    }
+
+    pub(super) fn record_stream(derived: u64, parent: u64, label: &str) {
+        STREAMS.with(|reg| {
+            let mut reg = reg.borrow_mut();
+            match reg.get(&derived) {
+                Some((p, l)) if *p != parent || l != label => panic!(
+                    "RNG stream collision: stream({label:?}) of seed {parent} derives \
+                     {derived:#018x}, already owned by stream({l:?}) of seed {p} — \
+                     two components would share one random sequence"
+                ),
+                Some(_) => {}
+                None => {
+                    reg.insert(derived, (parent, label.to_string()));
+                }
+            }
+        });
+    }
+
+    /// Clears this thread's registry (for tests and for harnesses that
+    /// reuse one thread across independent simulations).
+    pub fn reset_stream_registry() {
+        STREAMS.with(|reg| reg.borrow_mut().clear());
+    }
+}
+
+/// See [`audit::reset_stream_registry`]: clears the audit build's
+/// per-thread RNG stream registry between independent simulations.
+#[cfg(feature = "audit")]
+pub fn audit_reset_stream_registry() {
+    audit::reset_stream_registry();
 }
 
 impl RngCore for DetRng {
@@ -131,6 +186,41 @@ mod tests {
         let mut s2 = root.stream("beta");
         assert_eq!(s1.next_u64(), s1b.next_u64());
         assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_allows_rederiving_the_same_stream() {
+        crate::rng::audit_reset_stream_registry();
+        let root = DetRng::seed(11);
+        for _ in 0..10 {
+            let _ = root.stream("placement"); // same origin every time: fine
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    #[should_panic(expected = "RNG stream collision")]
+    fn audit_catches_stream_collisions() {
+        crate::rng::audit_reset_stream_registry();
+        // Engineer a collision in the FNV-style derivation: with
+        // multiplier p (odd, hence invertible mod 2^64), the seed
+        //   seed2 = basis ^ ((basis ^ seed1) * p⁻¹ ^ 'x')
+        // makes stream("x") of seed2 derive the same value as stream("")
+        // of seed1 — two different origins, one random sequence.
+        const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        const P: u64 = 0x100_0000_01b3;
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            // Newton iteration doubles correct low bits each round.
+            inv = inv.wrapping_mul(2u64.wrapping_sub(P.wrapping_mul(inv)));
+        }
+        assert_eq!(P.wrapping_mul(inv), 1);
+        let seed1 = 42u64;
+        let target = BASIS ^ seed1;
+        let seed2 = BASIS ^ (target.wrapping_mul(inv) ^ b'x' as u64);
+        let _ = DetRng::seed(seed1).stream("");
+        let _ = DetRng::seed(seed2).stream("x"); // derives the same seed
     }
 
     #[test]

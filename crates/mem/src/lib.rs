@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dl-mem
 //!
 //! DDR4 DIMM memory-system timing model — the workspace's stand-in for

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dl-noc
 //!
 //! The interconnect network model — this workspace's stand-in for BookSim,

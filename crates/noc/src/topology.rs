@@ -7,7 +7,7 @@
 //! (lowest-index tie-break, so routes are deterministic).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of one unidirectional link.
@@ -45,7 +45,7 @@ pub struct Topology {
     kind: TopologyKind,
     n: usize,
     links: Vec<(usize, usize)>,
-    link_of: HashMap<(usize, usize), LinkId>,
+    link_of: BTreeMap<(usize, usize), LinkId>,
     /// `next_hop[dst][node]` = neighbour to take from `node` towards `dst`.
     next_hop: Vec<Vec<usize>>,
     /// `dist[a][b]` = hops on a shortest path.
@@ -113,7 +113,7 @@ impl Topology {
         }
 
         let mut adj = vec![Vec::new(); n];
-        let mut link_of = HashMap::new();
+        let mut link_of = BTreeMap::new();
         for (i, &(a, b)) in edges.iter().enumerate() {
             adj[a].push(b);
             link_of.insert((a, b), LinkId(i));

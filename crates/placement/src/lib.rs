@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dl-placement
 //!
 //! Distance-aware task mapping (paper Section IV-B, Algorithm 1).

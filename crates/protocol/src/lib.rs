@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dl-protocol
 //!
 //! The DIMM-Link interconnect protocol (paper Section III-B): a four-layer

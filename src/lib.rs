@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dimm-link-repro
 //!
 //! Facade crate of the DIMM-Link (HPCA 2023) reproduction workspace: it

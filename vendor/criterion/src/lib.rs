@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `criterion` crate.
 //!
 //! Provides the builder/group/bencher surface and the `criterion_group!` /

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset this workspace uses: the [`Strategy`] trait with

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `rand` crate (0.8-compatible subset).
 //!
 //! Provides the trait surface this workspace uses — [`RngCore`],

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `rand_chacha`: a genuine ChaCha8 stream generator.
 //!
 //! Implements the ChaCha block function (IETF variant, 32-bit counter +

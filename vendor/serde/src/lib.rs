@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `serde` crate.
 //!
 //! The containers this workspace builds in have no crates.io access, so the

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `serde_json` crate.
 //!
 //! A thin facade over the vendored `serde` crate, whose data model is already
