@@ -47,6 +47,7 @@ fn wrap(makespan: Ps) -> RunResult {
         profiling: Ps::ZERO,
         stats: StatSet::new(),
         energy: EnergyBreakdown::default(),
+        status: dl_engine::RunStatus::Completed,
     }
 }
 

@@ -31,6 +31,7 @@ fn raw_run(wl: &dl_workloads::Workload, cfg: &SystemConfig) -> RunResult {
         profiling: Ps::ZERO,
         stats: run.stats,
         energy: EnergyBreakdown::default(),
+        status: run.status,
     }
 }
 

@@ -48,6 +48,7 @@ fn measure(kind: IdcKind, packets: u64) -> RunResult {
         profiling: Ps::ZERO,
         stats: StatSet::new(),
         energy: EnergyBreakdown::default(),
+        status: dl_engine::RunStatus::Completed,
     }
 }
 

@@ -346,6 +346,7 @@ pub fn build_sweep(cases: &[FidelityCase]) -> Sweep {
                     profiling: Ps::ZERO,
                     stats,
                     energy: EnergyBreakdown::default(),
+                    status: dl_engine::RunStatus::Completed,
                 }
             },
         );
@@ -524,6 +525,7 @@ mod tests {
                     threads: Some(threads),
                     out_dir: Some(dir.join(sub)),
                     quiet: false,
+                    ..SweepOptions::default()
                 })
                 .unwrap();
             std::fs::read(out.path.expect("artifact written")).unwrap()

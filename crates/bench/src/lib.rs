@@ -36,10 +36,19 @@ pub struct Args {
     pub threads: Option<usize>,
     /// Sweep artifact directory (`--out`; default `target/sweeps`).
     pub out: Option<std::path::PathBuf>,
+    /// Reuse journaled points from an interrupted run (`--resume`).
+    pub resume: bool,
+    /// Wall-clock watchdog per sweep point (`--point-budget SECS`).
+    pub point_budget: Option<std::time::Duration>,
+    /// Deterministic engine event budget per run (`--max-events N`).
+    pub max_events: Option<u64>,
+    /// Deterministic simulated-time budget per run (`--max-sim-ms N`).
+    pub max_sim_ms: Option<u64>,
 }
 
 impl Args {
-    /// Parses `--scale N`, `--seed N`, `--quick`, `--threads N`, `--out DIR`
+    /// Parses `--scale N`, `--seed N`, `--quick`, `--threads N`, `--out DIR`,
+    /// `--resume`, `--point-budget SECS`, `--max-events N`, `--max-sim-ms N`
     /// from `std::env::args`.
     pub fn parse() -> Self {
         let mut args = Args {
@@ -48,6 +57,10 @@ impl Args {
             quick: false,
             threads: None,
             out: None,
+            resume: false,
+            point_budget: None,
+            max_events: None,
+            max_sim_ms: None,
         };
         let mut scale = None;
         let mut it = std::env::args().skip(1);
@@ -58,8 +71,21 @@ impl Args {
                 "--quick" => args.quick = true,
                 "--threads" => args.threads = it.next().and_then(|v| v.parse().ok()),
                 "--out" => args.out = it.next().map(std::path::PathBuf::from),
+                "--resume" => args.resume = true,
+                "--point-budget" => {
+                    args.point_budget = it
+                        .next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|s| *s > 0.0)
+                        .map(std::time::Duration::from_secs_f64)
+                }
+                "--max-events" => args.max_events = it.next().and_then(|v| v.parse().ok()),
+                "--max-sim-ms" => args.max_sim_ms = it.next().and_then(|v| v.parse().ok()),
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale N] [--seed N] [--quick] [--threads N] [--out DIR]");
+                    eprintln!(
+                        "usage: [--scale N] [--seed N] [--quick] [--threads N] [--out DIR]\n       \
+                         [--resume] [--point-budget SECS] [--max-events N] [--max-sim-ms N]"
+                    );
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown argument {other}"),
@@ -75,13 +101,28 @@ impl Args {
             threads: self.threads,
             out_dir: self.out.clone(),
             quiet: false,
+            resume: self.resume,
+            point_budget: self.point_budget,
+            halt_after: None,
+        }
+    }
+
+    /// The deterministic engine budget these arguments describe
+    /// (unlimited when neither `--max-events` nor `--max-sim-ms` is given).
+    pub fn run_budget(&self) -> dl_engine::RunBudget {
+        dl_engine::RunBudget {
+            max_events: self.max_events,
+            max_sim_ps: self.max_sim_ms.map(|ms| ms.saturating_mul(1_000_000_000)),
         }
     }
 }
 
-/// Runs a sweep with this binary's options, exiting with a labeled error
-/// message if a point fails.
-pub fn run_sweep(s: sweep::Sweep, args: &Args) -> sweep::SweepOutcome {
+/// Runs a sweep with this binary's options — applying any deterministic
+/// engine budget from `--max-events`/`--max-sim-ms` — exiting with a
+/// labeled error message if a point fails (completed points are journaled
+/// first, so a rerun with `--resume` picks up where this one stopped).
+pub fn run_sweep(mut s: sweep::Sweep, args: &Args) -> sweep::SweepOutcome {
+    s.apply_budget(args.run_budget());
     match s.run_with(&args.sweep_options()) {
         Ok(out) => out,
         Err(e) => {

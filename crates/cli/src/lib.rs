@@ -83,6 +83,15 @@ pub struct RunSpec {
     /// Sweep artifact directory (sweep only); writes
     /// `<dir>/dlsim_<param>.jsonl` when set.
     pub out_dir: Option<PathBuf>,
+    /// Reuse journaled points from an interrupted sweep (sweep only,
+    /// requires `--out`).
+    pub resume: bool,
+    /// Wall-clock watchdog per sweep point, seconds (sweep only).
+    pub point_budget_secs: Option<f64>,
+    /// Deterministic engine event budget per run.
+    pub max_events: Option<u64>,
+    /// Deterministic simulated-time budget per run, milliseconds.
+    pub max_sim_ms: Option<u64>,
 }
 
 impl Default for RunSpec {
@@ -104,6 +113,10 @@ impl Default for RunSpec {
             json: false,
             threads: None,
             out_dir: None,
+            resume: false,
+            point_budget_secs: None,
+            max_events: None,
+            max_sim_ms: None,
         }
     }
 }
@@ -253,6 +266,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 spec.threads = Some(n);
             }
             "--out" => spec.out_dir = Some(PathBuf::from(next(a)?)),
+            "--resume" => spec.resume = true,
+            "--point-budget" => {
+                let s: f64 = next(a)?
+                    .parse()
+                    .map_err(|_| err("--point-budget: not a number of seconds"))?;
+                if s.is_nan() || s <= 0.0 {
+                    return Err(err("--point-budget must be positive"));
+                }
+                spec.point_budget_secs = Some(s);
+            }
+            "--max-events" => {
+                spec.max_events = Some(
+                    next(a)?
+                        .parse()
+                        .map_err(|_| err("--max-events: not a number"))?,
+                )
+            }
+            "--max-sim-ms" => {
+                spec.max_sim_ms = Some(
+                    next(a)?
+                        .parse()
+                        .map_err(|_| err("--max-sim-ms: not a number"))?,
+                )
+            }
             "--param" => {
                 param = Some(match next(a)?.to_ascii_lowercase().as_str() {
                     "dimms" => SweepParam::Dimms,
@@ -432,11 +469,23 @@ pub fn execute_sweep(
             sweep.simulate(label, s.workload, params_of(&s), cfg);
         }
     }
+    sweep.apply_budget(dl_engine::RunBudget {
+        max_events: spec.max_events,
+        max_sim_ps: spec.max_sim_ms.map(|ms| ms.saturating_mul(1_000_000_000)),
+    });
+    if spec.resume && spec.out_dir.is_none() {
+        return Err(err("--resume needs --out DIR (the journal lives there)"));
+    }
     let opts = SweepOptions {
         threads: spec.threads,
         out_dir: spec.out_dir.clone(),
         // Without --out there is no artifact to announce; keep stderr clean.
         quiet: spec.out_dir.is_none(),
+        resume: spec.resume,
+        point_budget: spec
+            .point_budget_secs
+            .map(std::time::Duration::from_secs_f64),
+        halt_after: None,
     };
     let out = sweep.run_with(&opts).map_err(|e| CliError(e.to_string()))?;
     Ok(values
@@ -468,10 +517,16 @@ pub fn usage() -> String {
      \x20 dlsim sweep   --workload <w> --param <p> --values a,b,c [--threads N --out DIR] [flags]\n\
      \x20 dlsim list\n\n\
      FLAGS: --scale N  --seed N  --broadcast  --locality F  --topology <t>\n\
-     \x20      --polling <s>  --sync <s>  --link-gbps N  --json\n\n\
+     \x20      --polling <s>  --sync <s>  --link-gbps N  --json\n\
+     \x20      --resume  --point-budget SECS  --max-events N  --max-sim-ms N\n\n\
      Sweeps fan out over --threads workers (default: DL_THREADS, else all\n\
      cores); results are deterministic regardless of thread count. With\n\
-     --out DIR the sweep also writes DIR/dlsim_<param>.jsonl.\n\n\
+     --out DIR the sweep also writes DIR/dlsim_<param>.jsonl, journaling\n\
+     each finished point to DIR/dlsim_<param>.journal.jsonl so an\n\
+     interrupted sweep restarts where it stopped with --resume.\n\
+     --max-events/--max-sim-ms cap each run deterministically inside the\n\
+     engine (the record is marked BudgetExceeded); --point-budget is a\n\
+     wall-clock watchdog that abandons hung points.\n\n\
      Run `dlsim list` for accepted names."
         .to_string()
 }
@@ -553,6 +608,51 @@ mod tests {
         assert_eq!(spec.threads, Some(2));
         assert_eq!(spec.out_dir, Some(PathBuf::from("/tmp/dlsim-artifacts")));
         assert!(parse_args(&sv(&["sweep", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_crash_safety_knobs() {
+        let cmd = parse_args(&sv(&[
+            "sweep",
+            "--workload",
+            "pr",
+            "--param",
+            "scale",
+            "--values",
+            "7,8",
+            "--out",
+            "/tmp/dlsim-artifacts",
+            "--resume",
+            "--point-budget",
+            "2.5",
+            "--max-events",
+            "100000",
+            "--max-sim-ms",
+            "50",
+        ]))
+        .unwrap();
+        let Command::Sweep { spec, .. } = cmd else {
+            panic!("expected Sweep")
+        };
+        assert!(spec.resume);
+        assert_eq!(spec.point_budget_secs, Some(2.5));
+        assert_eq!(spec.max_events, Some(100_000));
+        assert_eq!(spec.max_sim_ms, Some(50));
+        assert!(parse_args(&sv(&["sweep", "--point-budget", "0"])).is_err());
+        assert!(parse_args(&sv(&["sweep", "--point-budget", "nope"])).is_err());
+        assert!(parse_args(&sv(&["sweep", "--max-events", "nope"])).is_err());
+    }
+
+    #[test]
+    fn resume_requires_an_out_dir() {
+        let spec = RunSpec {
+            workload: WorkloadKind::Hotspot,
+            scale: 7,
+            resume: true,
+            ..RunSpec::default()
+        };
+        let e = execute_sweep(&spec, SweepParam::Dimms, &[4]).unwrap_err();
+        assert!(e.to_string().contains("--out"), "{e}");
     }
 
     #[test]

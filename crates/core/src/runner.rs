@@ -5,7 +5,7 @@ use crate::energy::{energy_of, EnergyBreakdown, EnergyParams};
 use crate::host_sim::{simulate_host, HostRun};
 use crate::system::{natural_placement, optimized_placement, random_placement, NmpSystem, RawRun};
 use dl_engine::stats::StatSet;
-use dl_engine::Ps;
+use dl_engine::{Ps, RunStatus};
 use dl_workloads::{Workload, WorkloadKind, WorkloadParams};
 
 /// A finished experiment run with derived metrics.
@@ -19,6 +19,10 @@ pub struct RunResult {
     pub stats: StatSet,
     /// Energy of the measured run.
     pub energy: EnergyBreakdown,
+    /// Whether every phase of the experiment ran to completion, or a
+    /// configured [`dl_engine::RunBudget`] cut one short. For optimized
+    /// runs this merges the profiling and measured phases.
+    pub status: RunStatus,
 }
 
 impl RunResult {
@@ -49,7 +53,7 @@ impl RunResult {
     }
 }
 
-fn finish(raw: RawRun, cfg: &SystemConfig, profiling: Ps) -> RunResult {
+fn finish(raw: RawRun, cfg: &SystemConfig, profiling: Ps, earlier: RunStatus) -> RunResult {
     let energy = energy_of(
         &raw.stats,
         raw.elapsed,
@@ -62,6 +66,7 @@ fn finish(raw: RawRun, cfg: &SystemConfig, profiling: Ps) -> RunResult {
         profiling,
         stats: raw.stats,
         energy,
+        status: earlier.merge(raw.status),
     }
 }
 
@@ -73,7 +78,7 @@ pub fn simulate(workload: &Workload, cfg: &SystemConfig) -> RunResult {
         PlacementPolicy::Random => random_placement(workload, cfg, cfg.seed),
     };
     let raw = NmpSystem::new(workload, cfg, &placement, None).run();
-    finish(raw, cfg, Ps::ZERO)
+    finish(raw, cfg, Ps::ZERO, RunStatus::Completed)
 }
 
 /// Runs the full Algorithm 1 pipeline ("DIMM-Link-opt"): profile the first
@@ -87,7 +92,7 @@ pub fn simulate_optimized(workload: &Workload, cfg: &SystemConfig) -> RunResult 
     let profile_run = NmpSystem::new(workload, cfg, &start, Some(limit)).run();
     let placement = optimized_placement(cfg, &profile_run);
     let raw = NmpSystem::new(workload, cfg, &placement, None).run();
-    finish(raw, cfg, profile_run.elapsed)
+    finish(raw, cfg, profile_run.elapsed, profile_run.status)
 }
 
 /// Builds and runs the fixed 16-core host baseline for a workload kind at
@@ -165,6 +170,34 @@ mod tests {
             aim.elapsed,
             mcn.elapsed
         );
+    }
+
+    #[test]
+    fn budget_cuts_a_run_short_deterministically() {
+        use dl_engine::BudgetKind;
+        let wl = WorkloadKind::Bfs.build(&params(4));
+        let mut cfg = SystemConfig::nmp(4, 2).with_idc(IdcKind::DimmLink);
+        let full = simulate(&wl, &cfg);
+        assert!(full.status.is_complete());
+
+        cfg.budget.max_events = Some(5_000);
+        let cut = simulate(&wl, &cfg);
+        assert_eq!(cut.status, RunStatus::BudgetExceeded(BudgetKind::Events));
+        assert!(cut.elapsed < full.elapsed);
+        assert_eq!(cut.stats.get("run.completed"), Some(0.0));
+        // The cut-off is a property of the simulation, not the machine:
+        // repeating the run reproduces it exactly.
+        let again = simulate(&wl, &cfg);
+        assert_eq!(again.elapsed, cut.elapsed);
+        assert_eq!(again.stats, cut.stats);
+
+        cfg.budget = dl_engine::RunBudget {
+            max_events: None,
+            max_sim_ps: Some(full.elapsed.as_ps() / 4),
+        };
+        let timed = simulate(&wl, &cfg);
+        assert_eq!(timed.status, RunStatus::BudgetExceeded(BudgetKind::SimTime));
+        assert!(timed.elapsed < full.elapsed);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::config::{SyncScheme, SystemConfig};
 use crate::host::HostPath;
 use crate::idc::{distance_matrix, wire_bytes, Interconnect, Route, NOTIFY_BYTES};
 use dl_engine::stats::StatSet;
-use dl_engine::{EventQueue, Ps, Resource};
+use dl_engine::{EventQueue, Ps, Resource, RunStatus};
 use dl_mem::{AccessKind, Cache, CacheOutcome, DimmAddressMap, MemController, MemRequest};
 use dl_placement::AccessProfile;
 use dl_workloads::{Op, Workload};
@@ -132,6 +132,9 @@ pub struct RawRun {
     pub stats: StatSet,
     /// Per-thread × per-DIMM traffic counts (Algorithm 1's `M` table).
     pub profile: AccessProfile,
+    /// Whether the run finished or was cut off by the configured
+    /// [`dl_engine::RunBudget`].
+    pub status: RunStatus,
 }
 
 /// The NMP system simulator. Construct with [`NmpSystem::new`], run with
@@ -309,13 +312,20 @@ impl<'w> NmpSystem<'w> {
         }
     }
 
-    /// Runs to completion and collects results.
+    /// Runs to completion (or until the configured [`dl_engine::RunBudget`]
+    /// is exceeded) and collects results.
+    ///
+    /// The budget check is deterministic: it reads only the event queue's
+    /// scheduled-event counter and the simulated clock, so the same
+    /// configuration stops at exactly the same point on every machine.
     ///
     /// # Panics
     /// Panics on deadlock (event queue drained with live threads — e.g.
-    /// barrier-unbalanced traces) or if the event budget is exhausted.
+    /// barrier-unbalanced traces) or if the hard backstop event budget is
+    /// exhausted (a runaway simulation with no configured budget).
     pub fn run(mut self) -> RawRun {
         const EVENT_BUDGET: u64 = 2_000_000_000;
+        let mut status = RunStatus::Completed;
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
@@ -340,15 +350,25 @@ impl<'w> NmpSystem<'w> {
             if self.done == self.cores.len() {
                 break;
             }
+            if let Some(kind) = self
+                .cfg
+                .budget
+                .check(self.events.total_scheduled(), self.now)
+            {
+                status = RunStatus::BudgetExceeded(kind);
+                break;
+            }
         }
-        assert_eq!(
-            self.done,
-            self.cores.len(),
-            "deadlock: {} of {} threads finished (unbalanced barriers?)",
-            self.done,
-            self.cores.len()
-        );
-        self.collect()
+        if status.is_complete() {
+            assert_eq!(
+                self.done,
+                self.cores.len(),
+                "deadlock: {} of {} threads finished (unbalanced barriers?)",
+                self.done,
+                self.cores.len()
+            );
+        }
+        self.collect(status)
     }
 
     fn alloc_txn(&mut self) -> u64 {
@@ -948,11 +968,13 @@ impl<'w> NmpSystem<'w> {
     // Results
     // ------------------------------------------------------------------
 
-    fn collect(mut self) -> RawRun {
+    fn collect(mut self, status: RunStatus) -> RawRun {
+        // Cores still running when a budget cut the run short are charged up
+        // to the cut-off time; a completed run always has every finish time.
         let elapsed = self
             .cores
             .iter()
-            .map(|c| c.finish.expect("all threads finished"))
+            .map(|c| c.finish.unwrap_or(self.now))
             .max()
             .unwrap_or(Ps::ZERO);
         self.host.finalize(elapsed);
@@ -965,6 +987,10 @@ impl<'w> NmpSystem<'w> {
         let mut s = StatSet::new();
         s.set("elapsed_ps", elapsed.as_ps() as f64);
         s.set("events_scheduled", self.events.total_scheduled() as f64);
+        s.set(
+            "run.completed",
+            if status.is_complete() { 1.0 } else { 0.0 },
+        );
         s.set("events.wake", self.ev_wake as f64);
         s.set("events.mem", self.ev_mem as f64);
         s.set("events.net", self.ev_net as f64);
@@ -1058,6 +1084,7 @@ impl<'w> NmpSystem<'w> {
             elapsed,
             stats: s,
             profile: self.profile,
+            status,
         }
     }
 }

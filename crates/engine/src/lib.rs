@@ -29,12 +29,14 @@
 //! assert_eq!(q.pop(), Some((Ps::from_ns(10), "later")));
 //! ```
 
+pub mod budget;
 pub mod event;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use budget::{BudgetKind, RunBudget, RunStatus};
 pub use event::EventQueue;
 pub use resource::{BandwidthResource, Resource};
 pub use rng::DetRng;

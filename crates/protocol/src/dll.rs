@@ -243,6 +243,17 @@ impl DllEndpoint {
     }
 
     /// The earliest retransmission deadline, if any packet is unacked.
+    ///
+    /// A packet already at its retry cap still contributes its deadline on
+    /// purpose: its final transmission deserves the same full timeout
+    /// window to be ACKed as every earlier one, and the wakeup this
+    /// deadline schedules is what performs the abandon —
+    /// [`poll_timeouts`](Self::poll_timeouts) then emits
+    /// [`DllEvent::LinkFailed`], refills the credit, and drains the
+    /// backlog. Dropping capped packets from this minimum would either cut
+    /// the final ACK window short or leave the endpoint wedged with the
+    /// slot and credit held forever. The cost is one extra wakeup per
+    /// abandoned packet, which the determinism audit accepts.
     pub fn next_timeout(&self) -> Option<Ps> {
         self.unacked.values().map(|(_, d, _)| *d).min()
     }
@@ -475,6 +486,35 @@ mod tests {
         assert_eq!(tx.link_failures(), 1);
         assert_eq!(tx.outstanding(), 1); // only packet 1 remains
         assert_eq!(tx.backlogged(), 0);
+    }
+
+    #[test]
+    fn capped_packet_keeps_its_abandon_deadline() {
+        // A packet at its retry cap must still be visible in next_timeout():
+        // the final transmission keeps a full ACK window, and the wakeup at
+        // that deadline is what performs the abandon. (An endpoint that
+        // dropped capped packets from the minimum would hold the slot and
+        // credit forever once the caller stopped polling.)
+        let mut tx = DllEndpoint::new(1, Ps::from_ns(100)).with_max_retries(1);
+        tx.send(Ps::ZERO, pkt(0));
+        assert!(tx.send(Ps::ZERO, pkt(1)).is_empty()); // backlogged
+        assert_eq!(tx.next_timeout(), Some(Ps::from_ns(100)));
+
+        // First expiry: the one allowed retransmission, now at the cap.
+        let r1 = tx.poll_timeouts(Ps::from_ns(100));
+        assert!(matches!(r1[0], DllEvent::Transmit(_)));
+        // Still scheduled — the final attempt gets its full timeout window.
+        assert_eq!(tx.next_timeout(), Some(Ps::from_ns(200)));
+
+        // Second expiry: the scheduled wakeup abandons the packet, frees
+        // the credit, and releases the backlog in the same poll.
+        let r2 = tx.poll_timeouts(Ps::from_ns(200));
+        assert!(matches!(r2[0], DllEvent::LinkFailed { seq: 0 }));
+        assert!(matches!(&r2[1], DllEvent::Transmit(p) if p.dll_field == 1));
+        // The deadline now tracks the released packet, not the dead one.
+        assert_eq!(tx.next_timeout(), Some(Ps::from_ns(300)));
+        assert!(tx.on_ack(1));
+        assert_eq!(tx.next_timeout(), None);
     }
 
     #[test]
