@@ -1,0 +1,114 @@
+#![forbid(unsafe_code)]
+//! Wall-clock scaling of the intra-run parallel engine.
+//!
+//! Runs the evaluation-scale workloads on a 16D-8C DIMM-Link system at
+//! `--sim-threads` 1, 2, 4 and 8 and reports wall-clock speedup over the
+//! sequential run, checking along the way that every parallel run is
+//! byte-identical to the sequential one (elapsed + full stat set). This is
+//! a host-machine measurement, not a simulated metric: numbers vary with
+//! the machine, the byte-identity check does not.
+//!
+//! Each point is run `REPS` times and the fastest repetition is kept, so a
+//! cold file cache or a scheduler hiccup doesn't masquerade as a scaling
+//! cliff.
+
+use dimm_link::config::{IdcKind, SystemConfig};
+use dimm_link::runner::simulate_with;
+use dl_bench::{fmt_x, print_table, save_json, Args};
+use dl_workloads::{WorkloadKind, WorkloadParams};
+use serde::Serialize;
+use std::time::Instant;
+
+const THREAD_POINTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct Point {
+    workload: String,
+    sim_threads: usize,
+    host_cores: usize,
+    wall_ms: f64,
+    speedup_vs_sequential: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    // The engine's parallelism comes from DIMM partitions, so measure on
+    // the evaluation system (16 DIMMs = 16 partitions) at full scale
+    // unless --quick/--scale says otherwise.
+    let scale = if args.quick {
+        args.scale
+    } else {
+        args.scale.max(14)
+    };
+    let params = WorkloadParams {
+        scale,
+        seed: args.seed,
+        ..WorkloadParams::evaluation(16)
+    };
+    let cfg = SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink);
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!(
+        "Intra-run DES scaling: 16D-8C DIMM-Link, scale {scale}, {REPS} reps/point, \
+         {cores} host core(s)"
+    );
+    if cores < 2 {
+        println!("note: single-core host — parallel runs can only measure overhead here");
+    }
+
+    let kinds = [
+        WorkloadKind::Pagerank,
+        WorkloadKind::Sssp,
+        WorkloadKind::Bfs,
+    ];
+    let mut points: Vec<Point> = Vec::new();
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let wl = kind.build(&params);
+        let mut row = vec![kind.to_string()];
+        let mut base_ms = 0.0;
+        let mut golden: Option<String> = None;
+        for &n in &THREAD_POINTS {
+            let mut best_ms = f64::INFINITY;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let r = simulate_with(&wl, &cfg, n);
+                best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                let fp = format!("{} {:?}", r.elapsed, r.stats);
+                match &golden {
+                    None => golden = Some(fp),
+                    Some(g) => assert_eq!(
+                        g, &fp,
+                        "{kind} diverged from sequential at --sim-threads {n}"
+                    ),
+                }
+            }
+            if n == 1 {
+                base_ms = best_ms;
+            }
+            let speedup = base_ms / best_ms;
+            row.push(format!("{best_ms:.0} ms ({})", fmt_x(speedup)));
+            points.push(Point {
+                workload: kind.to_string(),
+                sim_threads: n,
+                host_cores: cores,
+                wall_ms: best_ms,
+                speedup_vs_sequential: speedup,
+            });
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Wall-clock per run (speedup vs --sim-threads 1)",
+        &[
+            "workload",
+            "1 thread",
+            "2 threads",
+            "4 threads",
+            "8 threads",
+        ],
+        &rows,
+    );
+    println!("\nAll parallel runs byte-identical to sequential.");
+    save_json("par_scaling", &points);
+}

@@ -44,12 +44,15 @@ pub struct Args {
     pub max_events: Option<u64>,
     /// Deterministic simulated-time budget per run (`--max-sim-ms N`).
     pub max_sim_ms: Option<u64>,
+    /// Intra-run DES worker threads per point (`--sim-threads N`).
+    /// Byte-identical results at any value; default 1 (sequential).
+    pub sim_threads: usize,
 }
 
 impl Args {
     /// Parses `--scale N`, `--seed N`, `--quick`, `--threads N`, `--out DIR`,
-    /// `--resume`, `--point-budget SECS`, `--max-events N`, `--max-sim-ms N`
-    /// from `std::env::args`.
+    /// `--resume`, `--point-budget SECS`, `--max-events N`, `--max-sim-ms N`,
+    /// `--sim-threads N` from `std::env::args`.
     pub fn parse() -> Self {
         let mut args = Args {
             scale: 0,
@@ -61,6 +64,7 @@ impl Args {
             point_budget: None,
             max_events: None,
             max_sim_ms: None,
+            sim_threads: 1,
         };
         let mut scale = None;
         let mut it = std::env::args().skip(1);
@@ -81,10 +85,18 @@ impl Args {
                 }
                 "--max-events" => args.max_events = it.next().and_then(|v| v.parse().ok()),
                 "--max-sim-ms" => args.max_sim_ms = it.next().and_then(|v| v.parse().ok()),
+                "--sim-threads" => {
+                    args.sim_threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .unwrap_or(1)
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale N] [--seed N] [--quick] [--threads N] [--out DIR]\n       \
-                         [--resume] [--point-budget SECS] [--max-events N] [--max-sim-ms N]"
+                         [--resume] [--point-budget SECS] [--max-events N] [--max-sim-ms N]\n       \
+                         [--sim-threads N]"
                     );
                     std::process::exit(0);
                 }
@@ -104,6 +116,7 @@ impl Args {
             resume: self.resume,
             point_budget: self.point_budget,
             halt_after: None,
+            sim_threads: self.sim_threads,
         }
     }
 

@@ -543,12 +543,80 @@ pub fn distance_matrix(cfg: &SystemConfig, idc: &Interconnect) -> Vec<Vec<u64>> 
     }
 }
 
+/// Conservative lookahead for the parallel engine: a lower bound on the
+/// latency of *any* cross-DIMM interaction under `cfg`.
+///
+/// Two bounds are combined:
+///
+/// * **Probed unloaded latency** — every ordered DIMM pair is probed once
+///   with a minimum-size data packet and once with a synchronization packet
+///   on a fresh interconnect and host path. Probes are spaced 100 µs apart
+///   (an exact multiple of every poll period in use) so reservations from
+///   one probe cannot delay the next; the spacing is subtracted back out.
+/// * **Analytic host floor** — interrupt-driven discovery coalesces
+///   pending requests, so under load a forwarded packet can skip the
+///   discovery wait the unloaded probe observes. The floor charges only
+///   what every host-forwarded packet must always pay: two channel
+///   crossings, the forwarding CPU occupancy, and the fixed processing
+///   latency.
+///
+/// The result is floored at 1 ns so the epoch width is never degenerate.
+/// Correctness of the parallel engine does not depend on this value being
+/// a true lower bound — deliveries are additionally clamped to the epoch
+/// boundary — but a tight value keeps the model faithful and the epochs
+/// wide.
+pub fn min_cross_latency(cfg: &SystemConfig) -> Ps {
+    let mut idc = Interconnect::new(cfg);
+    let mut host = HostPath::new(cfg, &idc.proxy_channels(cfg));
+    let spacing = Ps::from_us(100);
+    let mut t = spacing;
+    let mut min = Ps::MAX;
+    for src in 0..cfg.dimms {
+        for dst in 0..cfg.dimms {
+            if src == dst {
+                continue;
+            }
+            let (data, _) = idc.unicast(&mut host, cfg, t, src, dst, wire_bytes(0));
+            min = min.min(data.saturating_sub(t));
+            t += spacing;
+            let (sync, _) = idc.sync_unicast(&mut host, cfg, t, src, dst, NOTIFY_BYTES);
+            min = min.min(sync.saturating_sub(t));
+            t += spacing;
+        }
+    }
+    let host_floor = cfg.channel_latency
+        + cfg.channel_latency
+        + cfg.fwd_proc
+        + cfg.fwd_occupancy.min(cfg.sync_fwd_occupancy);
+    min.min(host_floor).max(Ps::from_ns(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn dl_cfg() -> SystemConfig {
         SystemConfig::nmp(16, 8).with_idc(IdcKind::DimmLink)
+    }
+
+    #[test]
+    fn min_cross_latency_is_positive_and_below_any_probe() {
+        for kind in [
+            IdcKind::CpuForwarding,
+            IdcKind::DedicatedBus,
+            IdcKind::AbcDimm,
+            IdcKind::DimmLink,
+            IdcKind::DimmLinkCxl,
+        ] {
+            let cfg = SystemConfig::nmp(16, 8).with_idc(kind);
+            let w = min_cross_latency(&cfg);
+            assert!(w >= Ps::from_ns(1), "{kind}: degenerate lookahead {w}");
+            // An unloaded minimum-size unicast can never beat the bound.
+            let mut idc = Interconnect::new(&cfg);
+            let mut host = HostPath::new(&cfg, &idc.proxy_channels(&cfg));
+            let (arrival, _) = idc.unicast(&mut host, &cfg, Ps::ZERO, 0, 1, wire_bytes(0));
+            assert!(w <= arrival, "{kind}: lookahead {w} above probe {arrival}");
+        }
     }
 
     #[test]

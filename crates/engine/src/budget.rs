@@ -69,12 +69,28 @@ impl RunBudget {
 }
 
 /// Which limit of a [`RunBudget`] was exceeded.
+///
+/// # Overshoot contract
+///
+/// Budgets are observed at the *top* of the engine's epoch loop, before the
+/// next batch of events is processed. A single event handler may schedule
+/// many follow-up events (remote reads fan out into memory ticks, network
+/// hops, and wake-ups), so the recorded `events_scheduled` at the moment a
+/// run stops can exceed `max_events` by up to the fan-out of the events
+/// handled in the final epoch. The overshoot is a deterministic function of
+/// the configuration and workload — the same run always stops at the same
+/// point with the same counters — but callers must treat `max_events` as a
+/// trigger threshold, not an exact ceiling on the final counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BudgetKind {
     /// The scheduled-event cap.
     Events,
     /// The simulated-time cap.
     SimTime,
+    /// The engine's built-in hard backstop (a fixed, very large scheduled-
+    /// event cap that catches runaway event loops even when the run's own
+    /// [`RunBudget`] is unlimited).
+    Backstop,
 }
 
 impl fmt::Display for BudgetKind {
@@ -82,6 +98,7 @@ impl fmt::Display for BudgetKind {
         f.write_str(match self {
             BudgetKind::Events => "event budget",
             BudgetKind::SimTime => "simulated-time budget",
+            BudgetKind::Backstop => "hard event backstop",
         })
     }
 }
@@ -170,6 +187,7 @@ mod tests {
             RunStatus::Completed,
             RunStatus::BudgetExceeded(BudgetKind::Events),
             RunStatus::BudgetExceeded(BudgetKind::SimTime),
+            RunStatus::BudgetExceeded(BudgetKind::Backstop),
         ] {
             let text = serde_json::to_string(&s).unwrap();
             let back: RunStatus = serde_json::from_str(&text).unwrap();

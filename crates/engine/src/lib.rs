@@ -30,6 +30,7 @@
 //! ```
 
 pub mod budget;
+pub mod epoch;
 pub mod event;
 pub mod resource;
 pub mod rng;

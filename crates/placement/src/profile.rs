@@ -80,6 +80,22 @@ impl AccessProfile {
         self.counts.iter().sum()
     }
 
+    /// Adds every count of `other` into this table (exact integer sums, so
+    /// merging per-partition tables in a fixed order reproduces the
+    /// single-table result byte-for-byte).
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &AccessProfile) {
+        assert!(
+            self.threads == other.threads && self.dimms == other.dimms,
+            "profile dimensions must match"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
     /// Step 1 of Algorithm 1: the distance-weighted cost of placing each
     /// thread on each DIMM, `C[i][j] = Σ_k dist(j,k) · M[i][k]`.
     ///
@@ -128,6 +144,28 @@ mod tests {
         let c = m.cost_table(&dist);
         // Placing on DIMM 0: 0*10 + 2*1 = 2; DIMM 1: 10 + 1; DIMM 2: 20.
         assert_eq!(c[0], vec![2, 11, 20]);
+    }
+
+    #[test]
+    fn merge_sums_counts_elementwise() {
+        let mut a = AccessProfile::new(2, 2);
+        a.record(0, 0, 3);
+        a.record(1, 1, 5);
+        let mut b = AccessProfile::new(2, 2);
+        b.record(0, 0, 7);
+        b.record(1, 0, 2);
+        a.merge(&b);
+        assert_eq!(a.get(0, 0), 10);
+        assert_eq!(a.get(1, 0), 2);
+        assert_eq!(a.get(1, 1), 5);
+        assert_eq!(a.total(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn merge_checks_dimensions() {
+        let mut a = AccessProfile::new(2, 2);
+        a.merge(&AccessProfile::new(2, 3));
     }
 
     #[test]
